@@ -1,0 +1,14 @@
+// The paper's Figure 18: write a very large buffer, then read it back.
+// Both the data broadcast (source register -> every BRAM unit) and the
+// pipeline-control broadcast (enable -> every unit) live here.
+void stream_buffer(stream<long> &in_fifo, stream<long> &out_fifo) {
+  long buffer[131072];
+  for (int i = 0; i < 131072; i++) {
+#pragma HLS pipeline
+    buffer[i] = in_fifo.read();
+  }
+  for (int i = 0; i < 131072; i++) {
+#pragma HLS pipeline
+    out_fifo.write(buffer[i]);
+  }
+}

@@ -1,0 +1,21 @@
+// The paper's Figure 1: a loop-invariant value broadcast to every unrolled
+// body instance. Compile with:
+//   dune exec bin/hlsbc.exe -- cc examples/c/fig1_unroll.c -r original
+//   dune exec bin/hlsbc.exe -- cc examples/c/fig1_unroll.c -r optimized
+void fig1(stream<int> &in_fifo, stream<int> &out_fifo,
+          int foo[1024], int bar[1024]) {
+  int source = in_fifo.read();
+  int a[128];
+  int b[128];
+  for (int i = 0; i < 128; i++) {
+#pragma HLS unroll
+    a[i] = source + foo[i];
+    b[i] = a[i] - bar[i];
+  }
+  int acc = 0;
+  for (int i = 0; i < 128; i++) {
+#pragma HLS unroll
+    acc = acc + b[i];
+  }
+  out_fifo.write(acc);
+}

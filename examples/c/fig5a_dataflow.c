@@ -1,0 +1,27 @@
+// The paper's Figure 5a: two independent streaming flows written in one
+// dataflow region; the front end synchronizes them every iteration.
+void flow_a(stream<int> &inA, stream<int> &outA1, stream<int> &outA2) {
+  for (int i = 0; i < 1024; i++) {
+#pragma HLS pipeline
+    int a = inA.read();
+    outA1.write(a >> 16);
+    outA2.write(a & 65535);
+  }
+}
+
+void flow_b(stream<int> &inB, stream<int> &outB1, stream<int> &outB2) {
+  for (int i = 0; i < 1024; i++) {
+#pragma HLS pipeline
+    int b = inB.read();
+    outB1.write(b >> 16);
+    outB2.write(b & 65535);
+  }
+}
+
+void top(stream<int> &inA, stream<int> &inB,
+         stream<int> &outA1, stream<int> &outA2,
+         stream<int> &outB1, stream<int> &outB2) {
+#pragma HLS dataflow
+  flow_a(inA, outA1, outA2);
+  flow_b(inB, outB1, outB2);
+}
