@@ -1,0 +1,275 @@
+(* hlsbc — command-line front end for the broadcast-aware HLS flow.
+
+   Subcommands:
+     list                     benchmark designs and devices
+     classify  DESIGN         source-level broadcast report (section 3)
+     compile   DESIGN         compile under a recipe, print Fmax/resources
+     path      DESIGN         critical path under a recipe
+     schedule  DESIGN         schedule report of the design's first kernel
+     table1|table2|table3     regenerate the paper's tables
+     fig9|fig15|fig16|fig17|fig19   regenerate the paper's figures
+     ablation                 design-choice ablations *)
+
+module Experiments = Core.Experiments
+module Style = Hlsb_ctrl.Style
+module Spec = Hlsb_designs.Spec
+module Timing = Hlsb_physical.Timing
+module Netlist = Hlsb_netlist.Netlist
+open Cmdliner
+
+let find_design name =
+  match Hlsb_designs.Suite.find name with
+  | Some s -> s
+  | None ->
+    let names =
+      Hlsb_designs.Suite.all
+      |> List.map (fun s -> "  " ^ s.Spec.sp_name)
+      |> String.concat "\n"
+    in
+    Printf.eprintf "unknown design %S; available:\n%s\n" name names;
+    exit 1
+
+let recipe_of = function
+  | "original" -> Style.original
+  | "optimized" -> Style.optimized
+  | "sched-only" ->
+    { Style.sched = Style.Sched_aware; pipe = Style.Stall; sync = Style.Sync_naive }
+  | "ctrl-only" ->
+    {
+      Style.sched = Style.Sched_hls;
+      pipe = Style.Skid { min_area = true };
+      sync = Style.Sync_pruned;
+    }
+  | r ->
+    Printf.eprintf
+      "unknown recipe %S (original | optimized | sched-only | ctrl-only)\n" r;
+    exit 1
+
+let design_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN")
+
+let recipe_arg =
+  Arg.(
+    value
+    & opt string "optimized"
+    & info [ "r"; "recipe" ] ~docv:"RECIPE"
+        ~doc:"original | optimized | sched-only | ctrl-only")
+
+let cmd_list =
+  let run () =
+    print_endline "benchmark designs (Table 1):";
+    List.iter
+      (fun (s : Spec.t) ->
+        Printf.printf "  %-20s %-22s %s\n" s.Spec.sp_name s.Spec.sp_broadcast
+          s.Spec.sp_device.Hlsb_device.Device.board)
+      Hlsb_designs.Suite.all;
+    print_endline "\ndevices:";
+    List.iter
+      (fun d -> Format.printf "  %a@." Hlsb_device.Device.pp d)
+      Hlsb_device.Device.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmark designs and devices")
+    Term.(const run $ const ())
+
+let cmd_classify =
+  let run name =
+    let s = find_design name in
+    print_string
+      (Core.Classify.to_string
+         (Core.Classify.analyze ~device:s.Spec.sp_device (s.Spec.sp_build ())))
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Source-level broadcast classification")
+    Term.(const run $ design_arg)
+
+let compile name recipe =
+  let s = find_design name in
+  Core.Flow.compile_spec ~recipe:(recipe_of recipe) s
+
+let cmd_compile =
+  let run name recipe =
+    let r = compile name recipe in
+    print_endline (Core.Flow.summary r)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a benchmark and report Fmax/resources")
+    Term.(const run $ design_arg $ recipe_arg)
+
+let cmd_path =
+  let run name recipe =
+    let r = compile name recipe in
+    print_endline (Core.Flow.summary r);
+    let nl = r.Core.Flow.fr_design.Hlsb_rtlgen.Design.netlist in
+    List.iter
+      (fun (st : Timing.path_step) ->
+        Printf.printf "  %-34s arrival %7.3f ns  %s\n" st.Timing.ps_cell_name
+          st.Timing.ps_arrival
+          (match st.Timing.ps_via_net with
+          | None -> ""
+          | Some n ->
+            let net = Netlist.net nl n in
+            Printf.sprintf "via %s (fanout %d)" net.Netlist.n_name
+              (Array.length net.Netlist.n_sinks)))
+      r.Core.Flow.fr_timing.Timing.path
+  in
+  Cmd.v
+    (Cmd.info "path" ~doc:"Show the critical path of a compiled benchmark")
+    Term.(const run $ design_arg $ recipe_arg)
+
+let cmd_schedule =
+  let run name recipe =
+    let s = find_design name in
+    let df = s.Spec.sp_build () in
+    let kernel =
+      let rec first i =
+        if i >= Hlsb_ir.Dataflow.n_processes df then None
+        else
+          match (Hlsb_ir.Dataflow.process df i).Hlsb_ir.Dataflow.p_kernel with
+          | Some k -> Some k
+          | None -> first (i + 1)
+      in
+      first 0
+    in
+    match kernel with
+    | None -> print_endline "design has no kernels"
+    | Some k ->
+      let mode =
+        match (recipe_of recipe).Style.sched with
+        | Style.Sched_hls -> Hlsb_sched.Schedule.Baseline
+        | Style.Sched_aware ->
+          Hlsb_sched.Schedule.Broadcast_aware
+            (Hlsb_delay.Calibrate.shared s.Spec.sp_device)
+      in
+      print_string
+        (Hlsb_sched.Report.to_string (Hlsb_sched.Schedule.run mode k))
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Print the schedule report of the first kernel")
+    Term.(const run $ design_arg $ recipe_arg)
+
+let cmd_cc =
+  let run file recipe =
+    let src =
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Hlsb_frontend.Frontend.design_of_string src with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Hlsb_frontend.Frontend.pp_error e;
+      exit 1
+    | Ok df ->
+      let device = Hlsb_device.Device.ultrascale_plus in
+      print_string (Core.Classify.to_string (Core.Classify.analyze ~device df));
+      let r =
+        Core.Flow.compile ~device ~recipe:(recipe_of recipe)
+          ~name:(Filename.remove_extension (Filename.basename file))
+          df
+      in
+      print_endline (Core.Flow.summary r)
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+  in
+  Cmd.v
+    (Cmd.info "cc" ~doc:"Compile a C-subset source file through the flow")
+    Term.(const run $ file_arg $ recipe_arg)
+
+let cmd_emit =
+  let run name recipe fmt out =
+    let r = compile name recipe in
+    let nl = r.Core.Flow.fr_design.Hlsb_rtlgen.Design.netlist in
+    let text =
+      match fmt with
+      | "dot" -> Hlsb_netlist.Export.to_dot nl
+      | "verilog" | "v" -> Hlsb_netlist.Export.to_verilog nl
+      | f ->
+        Printf.eprintf "unknown format %S (dot | verilog)\n" f;
+        exit 1
+    in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      Hlsb_netlist.Export.write_file ~path text;
+      Printf.printf "wrote %s\n" path
+  in
+  let fmt_arg =
+    Arg.(value & opt string "dot" & info [ "f"; "format" ] ~docv:"FMT"
+           ~doc:"dot | verilog")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH")
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Export a compiled benchmark's netlist (DOT/Verilog)")
+    Term.(const run $ design_arg $ recipe_arg $ fmt_arg $ out_arg)
+
+let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let cmd_table1 =
+  simple "table1" "Regenerate Table 1" (fun () ->
+    print_string (Experiments.render_table1 (Experiments.run_table1 ())))
+
+let cmd_table2 =
+  simple "table2" "Regenerate Table 2" (fun () ->
+    print_string
+      (Experiments.render_variants ~title:"Table 2 (paper: 195/299/301 MHz)"
+         (Experiments.run_table2 ())))
+
+let cmd_table3 =
+  simple "table3" "Regenerate Table 3" (fun () ->
+    print_string
+      (Experiments.render_variants ~title:"Table 3 (paper: 187/208/278 MHz)"
+         (Experiments.run_table3 ())))
+
+let cmd_fig9 =
+  simple "fig9" "Regenerate Figure 9" (fun () ->
+    print_string (Experiments.render_fig9 (Experiments.run_fig9 ())))
+
+let cmd_fig15 =
+  simple "fig15" "Regenerate Figure 15" (fun () ->
+    print_string (Experiments.render_fig15 (Experiments.run_fig15 ())))
+
+let cmd_fig16 =
+  simple "fig16" "Regenerate Figure 16" (fun () ->
+    print_string (Experiments.render_fig16 (Experiments.run_fig16 ())))
+
+let cmd_fig17 =
+  simple "fig17" "Regenerate Figure 17" (fun () ->
+    print_string (Experiments.render_fig17 (Experiments.run_fig17 ())))
+
+let cmd_fig19 =
+  simple "fig19" "Regenerate Figure 19" (fun () ->
+    print_string (Experiments.render_fig19 (Experiments.run_fig19 ())))
+
+let cmd_ablation =
+  simple "ablation" "Run the design-choice ablations" (fun () ->
+    print_string (Experiments.render_ablations (Experiments.run_ablations ())))
+
+let () =
+  let info =
+    Cmd.info "hlsbc" ~version:"1.0.0"
+      ~doc:"Broadcast-aware HLS timing optimization (DAC 2020 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            cmd_list;
+            cmd_classify;
+            cmd_compile;
+            cmd_path;
+            cmd_schedule;
+            cmd_cc;
+            cmd_emit;
+            cmd_table1;
+            cmd_table2;
+            cmd_table3;
+            cmd_fig9;
+            cmd_fig15;
+            cmd_fig16;
+            cmd_fig17;
+            cmd_fig19;
+            cmd_ablation;
+          ]))

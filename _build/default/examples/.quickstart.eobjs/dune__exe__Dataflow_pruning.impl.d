@@ -1,0 +1,1 @@
+examples/dataflow_pruning.ml: Core Dataflow Hlsb_ctrl Hlsb_designs Hlsb_device Hlsb_ir Hlsb_sim List Printf

@@ -1,0 +1,1 @@
+examples/paper_snippets.ml: Core Format Hlsb_ctrl Hlsb_device Hlsb_frontend Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Dag Dataflow Dtype Hlsb_ctrl Hlsb_device Hlsb_ir Hlsb_physical Kernel List Op Printf Transform

@@ -1,0 +1,1 @@
+examples/schedule_explorer.ml: Array Hlsb_delay Hlsb_designs Hlsb_device Hlsb_sched List Printf String Sys

@@ -1,0 +1,1 @@
+examples/stream_buffer_tour.ml: Core Hlsb_ctrl Hlsb_designs Hlsb_device Hlsb_netlist Hlsb_physical Hlsb_sim Hlsb_util List Printf

@@ -1,0 +1,1 @@
+examples/stream_buffer_tour.mli:

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Buffer Dag Dataflow Dtype Hlsb_delay Hlsb_device Hlsb_ir Hlsb_netlist Kernel List Printf String

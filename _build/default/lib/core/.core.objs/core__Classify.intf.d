@@ -1,0 +1,1 @@
+lib/core/classify.mli: Dataflow Hlsb_device Hlsb_ir Hlsb_netlist

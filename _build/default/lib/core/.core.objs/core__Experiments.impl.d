@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Buffer Dtype Flow Hlsb_ctrl Hlsb_delay Hlsb_designs Hlsb_device Hlsb_ir Hlsb_physical Hlsb_rtlgen Hlsb_sched Hlsb_util Kernel List Op Printf String

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Flow Hlsb_delay Hlsb_designs Hlsb_device

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Hlsb_ctrl Hlsb_designs Hlsb_device Hlsb_ir Hlsb_netlist Hlsb_physical Hlsb_rtlgen Printf

@@ -1,0 +1,40 @@
+(** Broadcast classification (the paper's contribution #2): given a design,
+    report every timing-relevant broadcast structure it contains, sorted
+    into the paper's taxonomy — data broadcasts (§3.1), synchronization
+    broadcasts (§3.2) and pipeline-control broadcasts (§3.3) — before any
+    netlist is generated (source-level, from the IR) and after (netlist
+    nets by class). *)
+
+open Hlsb_ir
+
+type source_broadcast = {
+  b_kernel : string;
+  b_node : int;
+  b_what : string;  (** producer description *)
+  b_reads : int;  (** how many instructions read the value *)
+}
+
+type mem_broadcast = {
+  m_kernel : string;
+  m_buffer : string;
+  m_units : int;  (** physical BRAM units the access fans out to *)
+}
+
+type report = {
+  data_broadcasts : source_broadcast list;  (** reads >= threshold, desc *)
+  mem_broadcasts : mem_broadcast list;
+  sync_domains : (int * int) list;
+      (** per sync group: (members, reduce+broadcast fanout) *)
+  pipeline_domains : (string * int) list;
+      (** per kernel: sequential elements a stall net would have to reach *)
+}
+
+val analyze : ?threshold:int -> device:Hlsb_device.Device.t -> Dataflow.t -> report
+(** [threshold] is the minimum read count to call something a broadcast
+    (default 8). *)
+
+val netlist_summary :
+  Hlsb_netlist.Netlist.t -> (Hlsb_netlist.Netlist.net_class * int * int) list
+(** Per class: (class, net count, max fanout). *)
+
+val to_string : report -> string

@@ -1,0 +1,534 @@
+open Hlsb_ir
+module Device = Hlsb_device.Device
+module Calibrate = Hlsb_delay.Calibrate
+module Schedule = Hlsb_sched.Schedule
+module Sched_report = Hlsb_sched.Report
+module Style = Hlsb_ctrl.Style
+module Skid = Hlsb_ctrl.Skid
+module Timing = Hlsb_physical.Timing
+module Design = Hlsb_rtlgen.Design
+module Spec = Hlsb_designs.Spec
+module Table = Hlsb_util.Table
+
+(* ---------- Table 1 ---------- *)
+
+type table1_row = {
+  t1_name : string;
+  t1_broadcast : string;
+  t1_device : string;
+  t1_orig : Flow.result;
+  t1_opt : Flow.result;
+  t1_paper : Spec.paper_numbers;
+}
+
+let run_table1 ?subset () =
+  let specs =
+    match subset with
+    | None -> Hlsb_designs.Suite.all
+    | Some names ->
+      List.filter
+        (fun s -> List.mem s.Spec.sp_name names)
+        Hlsb_designs.Suite.all
+  in
+  List.map
+    (fun spec ->
+      let orig = Flow.compile_spec ~recipe:Style.original spec in
+      let opt = Flow.compile_spec ~recipe:Style.optimized spec in
+      {
+        t1_name = spec.Spec.sp_name;
+        t1_broadcast = spec.Spec.sp_broadcast;
+        t1_device = spec.Spec.sp_device.Device.board;
+        t1_orig = orig;
+        t1_opt = opt;
+        t1_paper = spec.Spec.sp_paper;
+      })
+    specs
+
+let pct v = Printf.sprintf "%.0f" v
+let mhz v = Printf.sprintf "%.0f" v
+
+let render_table1 rows =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("Application", Table.Left);
+          ("Broadcast type", Table.Left);
+          ("Target FPGA", Table.Left);
+          ("LUT O/P", Table.Right);
+          ("FF O/P", Table.Right);
+          ("BRAM O/P", Table.Right);
+          ("DSP O/P", Table.Right);
+          ("Freq Orig", Table.Right);
+          ("Freq Opt", Table.Right);
+          ("Diff", Table.Right);
+          ("Paper O->P", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      let po, pp = r.t1_paper.Spec.p_freq in
+      Table.add_row t
+        [
+          r.t1_name;
+          r.t1_broadcast;
+          r.t1_device;
+          pct r.t1_orig.Flow.fr_lut_pct ^ "/" ^ pct r.t1_opt.Flow.fr_lut_pct;
+          pct r.t1_orig.Flow.fr_ff_pct ^ "/" ^ pct r.t1_opt.Flow.fr_ff_pct;
+          pct r.t1_orig.Flow.fr_bram_pct ^ "/" ^ pct r.t1_opt.Flow.fr_bram_pct;
+          pct r.t1_orig.Flow.fr_dsp_pct ^ "/" ^ pct r.t1_opt.Flow.fr_dsp_pct;
+          mhz r.t1_orig.Flow.fr_fmax_mhz;
+          mhz r.t1_opt.Flow.fr_fmax_mhz;
+          Printf.sprintf "%.0f%%"
+            (Flow.improvement_pct ~orig:r.t1_orig ~opt:r.t1_opt);
+          Printf.sprintf "%d->%d (%d%%)" po pp (100 * (pp - po) / po);
+        ])
+    rows;
+  Table.render t
+
+(* ---------- Tables 2 and 3 ---------- *)
+
+type variant_row = {
+  vr_label : string;
+  vr_result : Flow.result;
+  vr_paper_mhz : int option;
+}
+
+let run_table2 ?(width = 512) () =
+  let build () = Hlsb_designs.Vector_arith.dataflow ~width () in
+  let dev = Device.ultrascale_plus in
+  let compile recipe =
+    Flow.compile ~device:dev ~recipe ~name:"vector_arith" (build ())
+  in
+  [
+    {
+      vr_label = "Stall";
+      vr_result =
+        compile { Style.sched = Style.Sched_aware; pipe = Style.Stall; sync = Style.Sync_naive };
+      vr_paper_mhz = Some 195;
+    };
+    {
+      vr_label = "Skid Buffer";
+      vr_result =
+        compile
+          {
+            Style.sched = Style.Sched_aware;
+            pipe = Style.Skid { min_area = false };
+            sync = Style.Sync_pruned;
+          };
+      vr_paper_mhz = Some 299;
+    };
+    {
+      vr_label = "Min-Area Skid Buf.";
+      vr_result =
+        compile
+          {
+            Style.sched = Style.Sched_aware;
+            pipe = Style.Skid { min_area = true };
+            sync = Style.Sync_pruned;
+          };
+      vr_paper_mhz = Some 301;
+    };
+  ]
+
+let run_table3 () =
+  let dev = Device.virtex7_690t in
+  let compile recipe =
+    Flow.compile ~device:dev ~recipe ~name:"pattern_match"
+      (Hlsb_designs.Pattern_match.dataflow ())
+  in
+  [
+    {
+      vr_label = "Original";
+      vr_result = compile Style.original;
+      vr_paper_mhz = Some 187;
+    };
+    {
+      vr_label = "Opt. Data";
+      vr_result =
+        compile
+          { Style.sched = Style.Sched_aware; pipe = Style.Stall; sync = Style.Sync_naive };
+      vr_paper_mhz = Some 208;
+    };
+    {
+      vr_label = "Opt. Data & Ctrl";
+      vr_result = compile Style.optimized;
+      vr_paper_mhz = Some 278;
+    };
+  ]
+
+let render_variants ~title rows =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("Implementation", Table.Left);
+          ("Frequency", Table.Right);
+          ("LUT", Table.Right);
+          ("FF", Table.Right);
+          ("BRAM", Table.Right);
+          ("DSP", Table.Right);
+          ("Paper MHz", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.vr_label;
+          Printf.sprintf "%.0f MHz" r.vr_result.Flow.fr_fmax_mhz;
+          Printf.sprintf "%.1f%%" r.vr_result.Flow.fr_lut_pct;
+          Printf.sprintf "%.1f%%" r.vr_result.Flow.fr_ff_pct;
+          Printf.sprintf "%.2f%%" r.vr_result.Flow.fr_bram_pct;
+          Printf.sprintf "%.1f%%" r.vr_result.Flow.fr_dsp_pct;
+          (match r.vr_paper_mhz with Some m -> string_of_int m | None -> "-");
+        ])
+    rows;
+  title ^ "\n" ^ Table.render t
+
+(* ---------- Fig. 9 ---------- *)
+
+type fig9_series = {
+  f9_label : string;
+  f9_rows : Calibrate.curve_row list;
+}
+
+let run_fig9 ?(device = Device.ultrascale_plus) () =
+  let cal = Calibrate.shared device in
+  [
+    { f9_label = "add (int32)"; f9_rows = Calibrate.op_curve cal Op.Add (Dtype.Int 32) };
+    { f9_label = "BRAM write (int32 buffer)"; f9_rows = Calibrate.mem_curve cal ~width:32 };
+    { f9_label = "mul (float32)"; f9_rows = Calibrate.op_curve cal Op.Fmul Dtype.Float32 };
+  ]
+
+let render_fig9 series =
+  String.concat "\n"
+    (List.map
+       (fun s ->
+         let t =
+           Table.create
+             ~headers:
+               [
+                 ("factor", Table.Right);
+                 ("HLS est (ns)", Table.Right);
+                 ("measured (ns)", Table.Right);
+                 ("calibrated (ns)", Table.Right);
+               ]
+         in
+         List.iter
+           (fun (r : Calibrate.curve_row) ->
+             Table.add_row t
+               [
+                 string_of_int r.Calibrate.cr_factor;
+                 Printf.sprintf "%.2f" r.Calibrate.cr_predicted;
+                 Printf.sprintf "%.2f" r.Calibrate.cr_measured;
+                 Printf.sprintf "%.2f" r.Calibrate.cr_calibrated;
+               ])
+           s.f9_rows;
+         s.f9_label ^ "\n" ^ Table.render t)
+       series)
+
+(* ---------- Fig. 15 ---------- *)
+
+type fig15_row = {
+  f15_unroll : int;
+  f15_hls_est_ns : float;
+  f15_our_est_ns : float;
+  f15_actual_ns : float;
+  f15_orig_mhz : float;
+  f15_opt_mhz : float;
+}
+
+let array_max a = Array.fold_left max 0. a
+
+let run_fig15 ?(factors = [ 8; 16; 32; 64; 128 ]) () =
+  let dev = Device.ultrascale_plus in
+  let cal = Calibrate.shared dev in
+  List.map
+    (fun unroll ->
+      let kernel () =
+        Hlsb_designs.Genome.kernel ~back_search_count:unroll ~lane:0 ()
+      in
+      let baseline = Schedule.run Schedule.Baseline (kernel ()) in
+      let hls_est = array_max (Sched_report.chain_delays baseline) in
+      let our_est =
+        array_max (Sched_report.chain_delays_calibrated cal baseline)
+      in
+      (* actual delay of the baseline schedule's critical path, post route;
+         pipeline control held fixed (skid) to isolate the data broadcast *)
+      let pipe = Style.Skid { min_area = true } in
+      let orig =
+        Flow.compile_kernel ~device:dev
+          ~recipe:{ Style.sched = Style.Sched_hls; pipe; sync = Style.Sync_naive }
+          (kernel ())
+      in
+      let opt =
+        Flow.compile_kernel ~device:dev
+          ~recipe:{ Style.sched = Style.Sched_aware; pipe; sync = Style.Sync_naive }
+          (kernel ())
+      in
+      {
+        f15_unroll = unroll;
+        f15_hls_est_ns = hls_est;
+        f15_our_est_ns = our_est;
+        f15_actual_ns = orig.Flow.fr_critical_ns;
+        f15_orig_mhz = orig.Flow.fr_fmax_mhz;
+        f15_opt_mhz = opt.Flow.fr_fmax_mhz;
+      })
+    factors
+
+let render_fig15 rows =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("unroll", Table.Right);
+          ("HLS est (ns)", Table.Right);
+          ("our est (ns)", Table.Right);
+          ("actual (ns)", Table.Right);
+          ("Fmax HLS sched", Table.Right);
+          ("Fmax our sched", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.f15_unroll;
+          Printf.sprintf "%.2f" r.f15_hls_est_ns;
+          Printf.sprintf "%.2f" r.f15_our_est_ns;
+          Printf.sprintf "%.2f" r.f15_actual_ns;
+          Printf.sprintf "%.0f MHz" r.f15_orig_mhz;
+          Printf.sprintf "%.0f MHz" r.f15_opt_mhz;
+        ])
+    rows;
+  Table.render t
+
+(* ---------- Fig. 16 ---------- *)
+
+type fig16_row = {
+  f16_iterations : int;
+  f16_stages : int;
+  f16_stall_mhz : float;
+  f16_skid_mhz : float;
+}
+
+let run_fig16 ?(iterations = [ 1; 2; 4; 8 ]) () =
+  let dev = Device.ultrascale_plus in
+  List.map
+    (fun iters ->
+      let build () = Hlsb_designs.Stencil.dataflow ~iterations:iters () in
+      let stall =
+        Flow.compile ~device:dev
+          ~recipe:{ Style.sched = Style.Sched_aware; pipe = Style.Stall; sync = Style.Sync_naive }
+          ~name:(Printf.sprintf "stencil_x%d" iters)
+          (build ())
+      in
+      let skid =
+        Flow.compile ~device:dev
+          ~recipe:
+            {
+              Style.sched = Style.Sched_aware;
+              pipe = Style.Skid { min_area = true };
+              sync = Style.Sync_naive;
+            }
+          ~name:(Printf.sprintf "stencil_x%d" iters)
+          (build ())
+      in
+      let stages =
+        List.fold_left
+          (fun acc (k : Design.kernel_info) -> acc + k.Design.ki_depth)
+          0 stall.Flow.fr_design.Design.kernels
+      in
+      {
+        f16_iterations = iters;
+        f16_stages = stages;
+        f16_stall_mhz = stall.Flow.fr_fmax_mhz;
+        f16_skid_mhz = skid.Flow.fr_fmax_mhz;
+      })
+    iterations
+
+let render_fig16 rows =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("iterations", Table.Right);
+          ("stages", Table.Right);
+          ("stall Fmax", Table.Right);
+          ("skid Fmax", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.f16_iterations;
+          string_of_int r.f16_stages;
+          Printf.sprintf "%.0f MHz" r.f16_stall_mhz;
+          Printf.sprintf "%.0f MHz" r.f16_skid_mhz;
+        ])
+    rows;
+  Table.render t
+
+(* ---------- Fig. 17 ---------- *)
+
+type fig17_result = {
+  f17_widths : int array;
+  f17_out_width : int;
+  f17_end_only_bits : int;
+  f17_min_area_bits : int;
+  f17_cuts : int list;
+}
+
+let run_fig17 ?(width = 32) () =
+  let dev = Device.ultrascale_plus in
+  let kernel = Hlsb_designs.Vector_arith.single_kernel ~width () in
+  let sched =
+    Schedule.run (Schedule.Broadcast_aware (Calibrate.shared dev)) kernel
+  in
+  let widths = Sched_report.stage_widths sched in
+  let out_width = max 1 (Kernel.data_width_out kernel) in
+  let end_only = Skid.end_only ~widths ~out_width in
+  let best = Skid.min_area ~widths ~out_width in
+  {
+    f17_widths = widths;
+    f17_out_width = out_width;
+    f17_end_only_bits = end_only.Skid.cost_bits;
+    f17_min_area_bits = best.Skid.cost_bits;
+    f17_cuts = best.Skid.cuts;
+  }
+
+let render_fig17 r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "live bits per stage boundary:\n  ";
+  Array.iteri
+    (fun i w ->
+      Buffer.add_string buf (Printf.sprintf "%d:%d " (i + 1) w);
+      if (i + 1) mod 12 = 0 then Buffer.add_string buf "\n  ")
+    r.f17_widths;
+  Buffer.add_string buf
+    (Printf.sprintf "\noutput width: %d bits\n" r.f17_out_width);
+  Buffer.add_string buf
+    (Printf.sprintf "end-only skid buffer: %d bits\n" r.f17_end_only_bits);
+  Buffer.add_string buf
+    (Printf.sprintf "min-area skid buffers: %d bits (cuts at %s) -> %.1fx smaller\n"
+       r.f17_min_area_bits
+       (String.concat ", " (List.map string_of_int r.f17_cuts))
+       (float_of_int r.f17_end_only_bits /. float_of_int (max 1 r.f17_min_area_bits)));
+  Buffer.contents buf
+
+(* ---------- Fig. 19 ---------- *)
+
+type fig19_row = {
+  f19_words : int;
+  f19_bram_pct : float;
+  f19_orig_mhz : float;
+  f19_data_opt_mhz : float;
+  f19_full_opt_mhz : float;
+}
+
+let run_fig19 ?(sizes = [ 8192; 16384; 32768; 65536; 131072 ]) () =
+  let dev = Device.ultrascale_plus in
+  List.map
+    (fun words ->
+      let build () = Hlsb_designs.Stream_buffer.dataflow ~depth_words:words () in
+      let compile recipe name =
+        Flow.compile ~device:dev ~recipe
+          ~name:(Printf.sprintf "stream_buffer_%d_%s" words name)
+          (build ())
+      in
+      let orig = compile Style.original "orig" in
+      let data_opt =
+        compile
+          { Style.sched = Style.Sched_aware; pipe = Style.Stall; sync = Style.Sync_naive }
+          "dataopt"
+      in
+      let full = compile Style.optimized "fullopt" in
+      {
+        f19_words = words;
+        f19_bram_pct = full.Flow.fr_bram_pct;
+        f19_orig_mhz = orig.Flow.fr_fmax_mhz;
+        f19_data_opt_mhz = data_opt.Flow.fr_fmax_mhz;
+        f19_full_opt_mhz = full.Flow.fr_fmax_mhz;
+      })
+    sizes
+
+let render_fig19 rows =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("buffer (512b words)", Table.Right);
+          ("BRAM %", Table.Right);
+          ("original", Table.Right);
+          ("data opt only", Table.Right);
+          ("data+ctrl opt", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.f19_words;
+          Printf.sprintf "%.0f%%" r.f19_bram_pct;
+          Printf.sprintf "%.0f MHz" r.f19_orig_mhz;
+          Printf.sprintf "%.0f MHz" r.f19_data_opt_mhz;
+          Printf.sprintf "%.0f MHz" r.f19_full_opt_mhz;
+        ])
+    rows;
+  Table.render t
+
+(* ---------- Ablations ---------- *)
+
+type ablation_row = {
+  ab_label : string;
+  ab_value : float;
+  ab_unit : string;
+}
+
+let run_ablations () =
+  let dev = Device.ultrascale_plus in
+  let rows = ref [] in
+  let push label value unit_ = rows := { ab_label = label; ab_value = value; ab_unit = unit_ } :: !rows in
+  (* 1. smoothing window: registers inserted + Fmax on genome *)
+  List.iter
+    (fun window ->
+      let cal = Calibrate.create ~window dev in
+      let kernel = Hlsb_designs.Genome.kernel ~lane:0 () in
+      let sched = Schedule.run (Schedule.Broadcast_aware cal) kernel in
+      push
+        (Printf.sprintf "smoothing window %d: registers inserted" window)
+        (float_of_int (Schedule.registers_inserted sched))
+        "regs")
+    [ 0; 1; 2 ];
+  (* 2. skid placement: end-only vs min-area buffer bits on Fig. 17 *)
+  let f17 = run_fig17 () in
+  push "skid end-only buffer" (float_of_int f17.f17_end_only_bits) "bits";
+  push "skid min-area buffer" (float_of_int f17.f17_min_area_bits) "bits";
+  (* 3. sync pruning granularity on the HBM stencil *)
+  let hbm = Hlsb_designs.Hbm_stencil.dataflow () in
+  let compile recipe name =
+    Flow.compile ~device:Device.alveo_u50 ~recipe ~name hbm
+  in
+  let naive =
+    compile
+      { Style.sched = Style.Sched_aware; pipe = Style.Skid { min_area = true }; sync = Style.Sync_naive }
+      "hbm_naive"
+  in
+  let pruned = compile Style.optimized "hbm_pruned" in
+  push "hbm stencil, naive sync" naive.Flow.fr_fmax_mhz "MHz";
+  push "hbm stencil, pruned sync" pruned.Flow.fr_fmax_mhz "MHz";
+  List.rev !rows
+
+let render_ablations rows =
+  let t =
+    Table.create
+      ~headers:[ ("ablation", Table.Left); ("value", Table.Right); ("unit", Table.Left) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.ab_label; Printf.sprintf "%.1f" r.ab_value; r.ab_unit ])
+    rows;
+  Table.render t

@@ -1,0 +1,58 @@
+module Device = Hlsb_device.Device
+module Netlist = Hlsb_netlist.Netlist
+module Timing = Hlsb_physical.Timing
+module Design = Hlsb_rtlgen.Design
+module Style = Hlsb_ctrl.Style
+module Spec = Hlsb_designs.Spec
+
+type result = {
+  fr_label : string;
+  fr_recipe : Style.recipe;
+  fr_fmax_mhz : float;
+  fr_critical_ns : float;
+  fr_lut_pct : float;
+  fr_ff_pct : float;
+  fr_bram_pct : float;
+  fr_dsp_pct : float;
+  fr_design : Design.t;
+  fr_timing : Timing.report;
+}
+
+let of_design name (design : Design.t) =
+  let report = Timing.run design.Design.device design.Design.netlist in
+  let lut, ff, bram, dsp =
+    Netlist.utilization design.Design.netlist design.Design.device
+  in
+  {
+    fr_label = name ^ " [" ^ Style.label design.Design.recipe ^ "]";
+    fr_recipe = design.Design.recipe;
+    fr_fmax_mhz = report.Timing.fmax_mhz;
+    fr_critical_ns = report.Timing.critical_ns;
+    fr_lut_pct = 100. *. lut;
+    fr_ff_pct = 100. *. ff;
+    fr_bram_pct = 100. *. bram;
+    fr_dsp_pct = 100. *. dsp;
+    fr_design = design;
+    fr_timing = report;
+  }
+
+let compile ?target_mhz ~device ~recipe ~name df =
+  of_design name (Design.generate ?target_mhz ~device ~recipe ~name df)
+
+let compile_kernel ?target_mhz ~device ~recipe kernel =
+  of_design kernel.Hlsb_ir.Kernel.name
+    (Design.single_kernel ?target_mhz ~device ~recipe kernel)
+
+let compile_spec ?target_mhz ~recipe (spec : Spec.t) =
+  compile ?target_mhz ~device:spec.Spec.sp_device ~recipe
+    ~name:spec.Spec.sp_name
+    (spec.Spec.sp_build ())
+
+let improvement_pct ~orig ~opt =
+  100. *. ((opt.fr_fmax_mhz /. orig.fr_fmax_mhz) -. 1.)
+
+let summary r =
+  Printf.sprintf
+    "%-40s %6.1f MHz  (%.2f ns)  LUT %5.1f%%  FF %5.1f%%  BRAM %5.1f%%  DSP %5.1f%%"
+    r.fr_label r.fr_fmax_mhz r.fr_critical_ns r.fr_lut_pct r.fr_ff_pct
+    r.fr_bram_pct r.fr_dsp_pct

@@ -1,0 +1,42 @@
+(** End-to-end compilation flows: dataflow design -> schedule -> RTL ->
+    placement -> timing, under a given optimization recipe. This is the
+    library's primary entry point: compile a design with
+    {!Hlsb_ctrl.Style.original} to see what today's HLS emits, with
+    {!Hlsb_ctrl.Style.optimized} to apply the paper's three techniques. *)
+
+type result = {
+  fr_label : string;
+  fr_recipe : Hlsb_ctrl.Style.recipe;
+  fr_fmax_mhz : float;
+  fr_critical_ns : float;
+  fr_lut_pct : float;
+  fr_ff_pct : float;
+  fr_bram_pct : float;
+  fr_dsp_pct : float;
+  fr_design : Hlsb_rtlgen.Design.t;
+  fr_timing : Hlsb_physical.Timing.report;
+}
+
+val compile :
+  ?target_mhz:float ->
+  device:Hlsb_device.Device.t ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  name:string ->
+  Hlsb_ir.Dataflow.t ->
+  result
+
+val compile_kernel :
+  ?target_mhz:float ->
+  device:Hlsb_device.Device.t ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  Hlsb_ir.Kernel.t ->
+  result
+
+val compile_spec :
+  ?target_mhz:float -> recipe:Hlsb_ctrl.Style.recipe -> Hlsb_designs.Spec.t -> result
+(** Builds the benchmark on its paper-designated device. *)
+
+val improvement_pct : orig:result -> opt:result -> float
+(** Relative Fmax gain in percent, the paper's "Diff" column. *)
+
+val summary : result -> string

@@ -1,0 +1,1 @@
+lib/ctrl/skid.ml: Array List

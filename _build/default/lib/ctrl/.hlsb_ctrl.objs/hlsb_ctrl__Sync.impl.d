@@ -1,0 +1,1 @@
+lib/ctrl/sync.ml: Array Dataflow Hashtbl Hlsb_ir List Option

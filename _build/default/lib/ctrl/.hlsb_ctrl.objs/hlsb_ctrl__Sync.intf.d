@@ -1,0 +1,1 @@
+lib/ctrl/sync.mli: Dataflow Hlsb_ir

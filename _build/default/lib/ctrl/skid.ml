@@ -1,0 +1,76 @@
+type plan = {
+  cuts : int list;
+  cost_bits : int;
+  depths : (int * int * int) list;
+}
+
+let required_depth ~pipeline_depth ?(ctrl_stages = 0) () =
+  if pipeline_depth < 1 then invalid_arg "Skid.required_depth";
+  pipeline_depth + 1 + ctrl_stages
+
+(* Width at 1-based boundary position i of an N-stage pipeline. *)
+let width_at widths out_width n i =
+  if i = n then out_width
+  else if i >= 1 && i < n then widths.(i - 1)
+  else invalid_arg "Skid: position out of range"
+
+let plan_of_cuts widths out_width n cuts =
+  let rec go prev acc_cost acc_depths = function
+    | [] -> (acc_cost, List.rev acc_depths)
+    | i :: rest ->
+      let w = width_at widths out_width n i in
+      let depth = i - prev + 1 in
+      go i (acc_cost + (depth * w)) ((i, depth, w) :: acc_depths) rest
+  in
+  let cost, depths = go 0 0 [] cuts in
+  { cuts; cost_bits = cost; depths }
+
+let check widths out_width =
+  if out_width < 1 then invalid_arg "Skid: out_width < 1";
+  Array.iter (fun w -> if w < 0 then invalid_arg "Skid: negative width") widths
+
+let end_only ~widths ~out_width =
+  check widths out_width;
+  let n = Array.length widths + 1 in
+  plan_of_cuts widths out_width n [ n ]
+
+let min_area ~widths ~out_width =
+  check widths out_width;
+  let n = Array.length widths + 1 in
+  let dp = Array.make (n + 1) max_int in
+  let from = Array.make (n + 1) 0 in
+  dp.(0) <- 0;
+  for i = 1 to n do
+    let w = width_at widths out_width n i in
+    for prev = 0 to i - 1 do
+      if dp.(prev) < max_int then begin
+        let c = dp.(prev) + ((i - prev + 1) * w) in
+        if c < dp.(i) then begin
+          dp.(i) <- c;
+          from.(i) <- prev
+        end
+      end
+    done
+  done;
+  let rec back i acc = if i = 0 then acc else back from.(i) (i :: acc) in
+  plan_of_cuts widths out_width n (back n [])
+
+let brute_force ~widths ~out_width =
+  check widths out_width;
+  let n = Array.length widths + 1 in
+  if n - 1 > 16 then invalid_arg "Skid.brute_force: too many boundaries";
+  let best = ref None in
+  let n_subsets = 1 lsl (n - 1) in
+  for mask = 0 to n_subsets - 1 do
+    let cuts = ref [ n ] in
+    for i = n - 1 downto 1 do
+      if mask land (1 lsl (i - 1)) <> 0 then cuts := i :: !cuts
+    done;
+    let p = plan_of_cuts widths out_width n !cuts in
+    match !best with
+    | Some b when b.cost_bits <= p.cost_bits -> ()
+    | _ -> best := Some p
+  done;
+  match !best with
+  | Some p -> p
+  | None -> assert false

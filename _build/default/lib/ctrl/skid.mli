@@ -1,0 +1,42 @@
+(** Skid-buffer-based pipeline control (§4.3).
+
+    Instead of broadcasting a stall signal to every register of an N-stage
+    pipeline, the pipeline always flows, each datum carries a valid bit,
+    and a bounded bypass FIFO at the end absorbs the data in flight when
+    the downstream back-pressures. With buffer depth >= N+1 no overflow can
+    occur (+1 because the FIFO's empty flag deasserts one cycle after the
+    first element lands). Throughput is identical to stall-based control.
+
+    The buffer can also be split at narrow waists of the datapath
+    (Fig. 12): a cut after stage M costs an (M+1)-deep buffer of that
+    boundary's width, and the tail needs only (N-M+1) entries of the
+    output width. Minimizing total bits over all cut choices is a simple
+    dynamic program (the paper: "can be easily solved using dynamic
+    programming, and the details are omitted"). *)
+
+type plan = {
+  cuts : int list;
+      (** boundary positions (1-based, ascending; the last is always N) at
+          which a skid buffer is placed *)
+  cost_bits : int;  (** total buffer bits *)
+  depths : (int * int * int) list;
+      (** per buffer: (position, depth, width) *)
+}
+
+val required_depth : pipeline_depth:int -> ?ctrl_stages:int -> unit -> int
+(** N+1, plus one entry per pipeline stage on the back-pressure path when
+    the stop signal itself is registered ([ctrl_stages], default 0). *)
+
+val end_only : widths:int array -> out_width:int -> plan
+(** The single end-of-pipeline buffer of Fig. 11. [widths].(i) is the live
+    width at the boundary after stage i+1 (length N-1 for an N-stage
+    pipeline); [out_width] is the final output width. *)
+
+val min_area : widths:int array -> out_width:int -> plan
+(** Optimal multi-level split (Fig. 12) by DP over cut positions;
+    [min_area] never costs more than [end_only]. *)
+
+val brute_force : widths:int array -> out_width:int -> plan
+(** Exhaustive search over all cut subsets — exponential; only for testing
+    the DP on small instances. Raises [Invalid_argument] for more than 20
+    boundaries. *)

@@ -1,0 +1,33 @@
+type pipeline_ctrl =
+  | Stall
+  | Skid of { min_area : bool }
+
+type sync_strategy =
+  | Sync_naive
+  | Sync_pruned
+
+type sched_mode =
+  | Sched_hls
+  | Sched_aware
+
+type recipe = {
+  sched : sched_mode;
+  pipe : pipeline_ctrl;
+  sync : sync_strategy;
+}
+
+let original = { sched = Sched_hls; pipe = Stall; sync = Sync_naive }
+
+let optimized =
+  { sched = Sched_aware; pipe = Skid { min_area = true }; sync = Sync_pruned }
+
+let label r =
+  let s = match r.sched with Sched_hls -> "hls" | Sched_aware -> "aware" in
+  let p =
+    match r.pipe with
+    | Stall -> "stall"
+    | Skid { min_area = true } -> "skid-min"
+    | Skid { min_area = false } -> "skid"
+  in
+  let y = match r.sync with Sync_naive -> "naive" | Sync_pruned -> "pruned" in
+  Printf.sprintf "%s/%s/%s" s p y

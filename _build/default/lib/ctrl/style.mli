@@ -1,0 +1,31 @@
+(** Control-generation strategy switches threaded through the RTL
+    generator; each Table-1 "Orig" column uses the first constructor of
+    each type, each "Opt" column the alternative the paper proposes. *)
+
+type pipeline_ctrl =
+  | Stall  (** broadcast empty/full-derived stall to every stage (§3.3) *)
+  | Skid of { min_area : bool }
+      (** always-flowing pipeline + skid buffer(s); [min_area] enables the
+          Fig. 12 multi-level split *)
+
+type sync_strategy =
+  | Sync_naive  (** AND all dones, broadcast start to all (§3.2) *)
+  | Sync_pruned  (** split independent flows + longest-latency wait (§4.2) *)
+
+type sched_mode =
+  | Sched_hls  (** fanout-blind delay model *)
+  | Sched_aware  (** §4.1 calibrated model *)
+
+type recipe = {
+  sched : sched_mode;
+  pipe : pipeline_ctrl;
+  sync : sync_strategy;
+}
+
+val original : recipe
+(** What the commercial HLS flow emits today. *)
+
+val optimized : recipe
+(** All three of the paper's techniques enabled (min-area skid control). *)
+
+val label : recipe -> string

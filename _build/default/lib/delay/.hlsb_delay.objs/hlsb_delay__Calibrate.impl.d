@@ -1,0 +1,1 @@
+lib/delay/calibrate.ml: Array Characterize Dtype Hashtbl Hlsb_device Hlsb_ir Hlsb_util Op Oplib

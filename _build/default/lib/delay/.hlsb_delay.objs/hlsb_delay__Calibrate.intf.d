@@ -1,0 +1,1 @@
+lib/delay/calibrate.mli: Dtype Hlsb_device Hlsb_ir Op

@@ -1,0 +1,1 @@
+lib/delay/characterize.ml: Array Dtype Hlsb_device Hlsb_ir Hlsb_netlist Hlsb_physical List Op Oplib Printf

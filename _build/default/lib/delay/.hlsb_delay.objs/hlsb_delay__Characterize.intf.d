@@ -1,0 +1,1 @@
+lib/delay/characterize.mli: Dtype Hlsb_device Hlsb_ir Op

@@ -1,0 +1,1 @@
+lib/delay/oplib.mli: Dtype Hlsb_device Hlsb_ir Hlsb_netlist Op

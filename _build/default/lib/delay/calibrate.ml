@@ -1,0 +1,139 @@
+open Hlsb_ir
+module Device = Hlsb_device.Device
+module Stats = Hlsb_util.Stats
+
+type curves = {
+  raw : float array;
+  smoothed : float array;
+}
+
+type t = {
+  dev : Device.t;
+  window : int;
+  op_cache : (string, curves) Hashtbl.t;
+  mutable mem_wr : curves option;
+  mutable mem_rd : curves option;
+}
+
+let factor_grid = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 |]
+let unit_grid = [| 1; 4; 16; 64; 256; 1024; 4096 |]
+let depth_grid = Array.map (fun u -> u * 512) unit_grid
+
+let create ?(window = 1) dev =
+  if window < 0 then invalid_arg "Calibrate.create: negative window";
+  { dev; window; op_cache = Hashtbl.create 16; mem_wr = None; mem_rd = None }
+
+let device t = t.dev
+
+let op_key op dt = Op.to_string op ^ "/" ^ Dtype.to_string dt
+
+let op_curves t op dt =
+  let key = op_key op dt in
+  match Hashtbl.find_opt t.op_cache key with
+  | Some c -> c
+  | None ->
+    let pts = Characterize.arith_curve t.dev op dt ~factors:factor_grid in
+    let raw = Array.map (fun p -> p.Characterize.measured) pts in
+    let smoothed = Stats.smooth_neighbors ~window:t.window raw in
+    let c = { raw; smoothed } in
+    Hashtbl.add t.op_cache key c;
+    c
+
+let mem_curves t ~read =
+  let cached = if read then t.mem_rd else t.mem_wr in
+  match cached with
+  | Some c -> c
+  | None ->
+    let pts =
+      if read then Characterize.mem_read_curve t.dev ~units:unit_grid
+      else Characterize.mem_write_curve t.dev ~units:unit_grid
+    in
+    let raw = Array.map (fun p -> p.Characterize.measured) pts in
+    let smoothed = Stats.smooth_neighbors ~window:t.window raw in
+    let c = { raw; smoothed } in
+    if read then t.mem_rd <- Some c else t.mem_wr <- Some c;
+    c
+
+(* Log-linear interpolation over a positive grid. Clamp outside. *)
+let interp grid values x =
+  let n = Array.length grid in
+  if x <= grid.(0) then values.(0)
+  else if x >= grid.(n - 1) then values.(n - 1)
+  else begin
+    let rec find i = if grid.(i + 1) >= x then i else find (i + 1) in
+    let i = find 0 in
+    let x0 = log (float_of_int grid.(i)) and x1 = log (float_of_int grid.(i + 1)) in
+    let fx = log (float_of_int x) in
+    let frac = (fx -. x0) /. (x1 -. x0) in
+    (values.(i) *. (1. -. frac)) +. (values.(i + 1) *. frac)
+  end
+
+let op_predicted _t op dt = Oplib.predicted op dt
+
+let op_delay t op dt ~factor =
+  if factor < 1 then invalid_arg "Calibrate.op_delay: factor < 1";
+  let c = op_curves t op dt in
+  let measured = interp factor_grid c.smoothed factor in
+  max (Oplib.predicted op dt) measured
+
+let op_measured t op dt ~factor =
+  let c = op_curves t op dt in
+  interp factor_grid c.raw factor
+
+let units_of ~width ~depth = Device.bram18_for ~width ~depth
+
+let mem_write_delay t ~width ~depth =
+  let c = mem_curves t ~read:false in
+  let u = units_of ~width ~depth in
+  max Oplib.mem_write_predicted (interp unit_grid c.smoothed u)
+
+let mem_read_delay t ~width ~depth =
+  let c = mem_curves t ~read:true in
+  let u = units_of ~width ~depth in
+  max Oplib.mem_read_predicted (interp unit_grid c.smoothed u)
+
+type curve_row = {
+  cr_factor : int;
+  cr_predicted : float;
+  cr_measured : float;
+  cr_calibrated : float;
+}
+
+let op_curve t op dt =
+  let c = op_curves t op dt in
+  let pred = Oplib.predicted op dt in
+  Array.to_list
+    (Array.mapi
+       (fun i f ->
+         {
+           cr_factor = f;
+           cr_predicted = pred;
+           cr_measured = c.raw.(i);
+           cr_calibrated = max pred c.smoothed.(i);
+         })
+       factor_grid)
+
+let mem_curve t ~width =
+  ignore width;
+  let c = mem_curves t ~read:false in
+  Array.to_list
+    (Array.mapi
+       (fun i depth ->
+         {
+           cr_factor = depth;
+           cr_predicted = Oplib.mem_write_predicted;
+           cr_measured = c.raw.(i);
+           cr_calibrated = max Oplib.mem_write_predicted c.smoothed.(i);
+         })
+       depth_grid)
+
+let shared_table : (string * int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ?(window = 1) dev =
+  let key = (dev.Device.name, window) in
+  match Hashtbl.find_opt shared_table key with
+  | Some t -> t
+  | None ->
+    let t = create ~window dev in
+    Hashtbl.add shared_table key t;
+    t

@@ -1,0 +1,40 @@
+(** The HLS tool's pre-characterized operator delay library — deliberately
+    *fanout-blind*, like the commercial tool the paper studies (§2): "the
+    predicted delay by HLS tools for a certain operator is fixed regardless
+    of the actual environment."
+
+    Two views of each operator:
+    - [predicted]: what the HLS scheduler believes (logic + typical
+      small-net routing; conservative for floating point, exactly the
+      Fig. 9 behaviour);
+    - [logic_delay]: the intrinsic cell delay used when the macro cell is
+      instantiated in a netlist — the physical backend adds real net delays
+      on top. *)
+
+open Hlsb_ir
+
+val predicted : Op.t -> Dtype.t -> float
+(** HLS-estimated combinational delay, ns. For multi-cycle float operators
+    this is the per-stage delay after the operator's internal pipelining. *)
+
+val logic_delay : Hlsb_device.Device.t -> Op.t -> Dtype.t -> float
+(** Full combinational delay of the operator macro on the given device
+    (scales with the device's LUT speed relative to UltraScale+). *)
+
+val stage_delay : Hlsb_device.Device.t -> Op.t -> Dtype.t -> float
+(** Per-stage delay once the macro's intrinsic pipeline registers are in
+    place: [logic_delay / (latency_cycles + 1)]. This is what one clock
+    period of the operator costs. *)
+
+val latency_cycles : Op.t -> Dtype.t -> int
+(** Internal pipeline depth of the operator macro (0 = pure
+    combinational). Float add/mul are pipelined as HLS does by default. *)
+
+val resources : Op.t -> Dtype.t -> Hlsb_netlist.Netlist.resources
+(** Macro footprint for netlist generation. *)
+
+val mem_read_predicted : float
+(** HLS-estimated BRAM read delay, ns — one number for any buffer size
+    (the §3.1 limitation). *)
+
+val mem_write_predicted : float

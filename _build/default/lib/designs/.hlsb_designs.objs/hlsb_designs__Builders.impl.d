@@ -1,0 +1,1 @@
+lib/designs/builders.ml: Dag Dtype Hlsb_ir Int64 List Op Printf String Transform

@@ -1,0 +1,1 @@
+lib/designs/builders.mli: Dag Dtype Hlsb_ir

@@ -1,0 +1,1 @@
+lib/designs/face_detect.ml: Builders Dag Dataflow Dtype Hlsb_device Hlsb_ir Int64 Kernel List Op Printf Spec

@@ -1,0 +1,1 @@
+lib/designs/genome.ml: Dag Dataflow Dtype Hlsb_device Hlsb_ir Kernel Op Printf Spec Transform

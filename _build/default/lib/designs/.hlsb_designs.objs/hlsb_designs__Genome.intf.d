@@ -1,0 +1,1 @@
+lib/designs/genome.mli: Dataflow Hlsb_ir Kernel Spec

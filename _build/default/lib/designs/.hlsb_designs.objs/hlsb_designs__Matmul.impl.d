@@ -1,0 +1,1 @@
+lib/designs/matmul.ml: Builders Dag Dataflow Dtype Hlsb_device Hlsb_ir Kernel List Op Printf Spec

@@ -1,0 +1,1 @@
+lib/designs/pattern_match.ml: Builders Dag Dataflow Dtype Hlsb_device Hlsb_ir Kernel List Op Printf Spec Transform

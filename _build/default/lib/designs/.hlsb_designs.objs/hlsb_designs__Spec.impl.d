@@ -1,0 +1,1 @@
+lib/designs/spec.ml: Dataflow Hlsb_device Hlsb_ir

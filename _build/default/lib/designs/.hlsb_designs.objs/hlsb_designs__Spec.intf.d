@@ -1,0 +1,1 @@
+lib/designs/spec.mli: Dataflow Hlsb_device Hlsb_ir

@@ -1,0 +1,1 @@
+lib/designs/stream_buffer.ml: Dag Dataflow Dtype Hlsb_device Hlsb_ir Kernel Spec

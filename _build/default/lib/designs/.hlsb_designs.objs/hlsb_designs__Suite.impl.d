@@ -1,0 +1,1 @@
+lib/designs/suite.ml: Face_detect Genome Hbm_stencil List Lstm Matmul Pattern_match Spec Stencil Stream_buffer Vector_arith

@@ -1,0 +1,1 @@
+lib/designs/suite.mli: Spec

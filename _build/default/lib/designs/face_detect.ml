@@ -1,0 +1,82 @@
+open Hlsb_ir
+
+(* Rosetta face detection [10, 11] on the ZC706: a sliding image window held
+   in a register array is read by every parallel Haar classifier stage — the
+   shared window pixels are the data broadcast — while line buffers in BRAM
+   feed the window. Fixed point throughout. *)
+
+let kernel ?(classifiers = 20) ?(window = 32) () =
+  let dag = Dag.create () in
+  let i16 = Dtype.Int 16 in
+  let i32 = Dtype.Int 32 in
+  let in_fifo = Dag.add_fifo dag ~name:"pix_in" ~dtype:(Dtype.Uint 64) ~depth:16 in
+  let out_fifo = Dag.add_fifo dag ~name:"face_out" ~dtype:i32 ~depth:16 in
+  let word = Dag.fifo_read dag ~fifo:in_fifo in
+  let col = Dag.input dag ~name:"col" ~dtype:i32 in
+  (* three image-row line buffers *)
+  let rows =
+    List.init 3 (fun r ->
+      Builders.line_buffer dag
+        ~name:(Printf.sprintf "line%d" r)
+        ~dtype:(Dtype.Uint 64) ~depth:8192 ~write:word ~index:col)
+  in
+  (* window pixels: slices of the buffered rows, shared by every
+     classifier *)
+  let window_pixels =
+    List.concat_map
+      (fun row -> Builders.scatter_word dag ~word:row ~parts:4)
+      rows
+    |> List.map (fun p -> Dag.op dag (Op.Slice (15, 0)) ~dtype:i16 [ p ])
+  in
+  let n_pix = List.length window_pixels in
+  let scores =
+    List.init classifiers (fun c ->
+      (* each classifier takes a weighted sum of a spread of shared window
+         pixels against per-classifier thresholds *)
+      let taps =
+        List.init (min window n_pix) (fun t ->
+          List.nth window_pixels ((c + (t * 3)) mod n_pix))
+      in
+      let weighted =
+        List.mapi
+          (fun t p ->
+            let w = Dag.const dag ~dtype:i16 (Int64.of_int ((t * 5) + c + 1)) in
+            Dag.op dag Op.Mul ~dtype:i16 [ p; w ])
+          taps
+      in
+      let sum = Builders.reduce_sum dag ~dtype:i16 weighted in
+      let sum32 = Dag.op dag (Op.Slice (15, 0)) ~dtype:i32 [ sum ] in
+      let thresh = Dag.const dag ~dtype:i32 (Int64.of_int (1000 + (c * 37))) in
+      let pass = Dag.op dag (Op.Icmp Op.Gt) ~dtype:Dtype.Bool [ sum32; thresh ] in
+      let one = Dag.const dag ~dtype:i32 1L in
+      let zero = Dag.const dag ~dtype:i32 0L in
+      Dag.op dag Op.Select ~dtype:i32 [ pass; one; zero ])
+  in
+  let votes = Builders.reduce_sum dag ~dtype:i32 scores in
+  ignore (Dag.fifo_write dag ~fifo:out_fifo ~value:votes);
+  Kernel.create ~name:"face_detect" ~trip_count:76800 dag
+
+let dataflow ?classifiers ?window () =
+  let df = Dataflow.create () in
+  let k = kernel ?classifiers ?window () in
+  let p = Dataflow.add_process df ~name:k.Kernel.name ~kernel:k () in
+  ignore
+    (Dataflow.add_channel df ~name:"pix_in" ~src:(-1) ~dst:p
+       ~dtype:(Dtype.Uint 64) ~depth:16 ());
+  ignore
+    (Dataflow.add_channel df ~name:"face_out" ~src:p ~dst:(-1)
+       ~dtype:(Dtype.Int 32) ~depth:16 ());
+  df
+
+let spec =
+  Spec.make ~name:"Face Detection" ~broadcast:"Data"
+    ~device:Hlsb_device.Device.zynq_7z045
+    ~build:(fun () -> dataflow ())
+    ~paper:
+      {
+        Spec.p_lut = (21, 22);
+        p_ff = (14, 15);
+        p_bram = (16, 16);
+        p_dsp = (9, 9);
+        p_freq = (220, 273);
+      }

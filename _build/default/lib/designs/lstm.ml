@@ -1,0 +1,109 @@
+open Hlsb_ir
+
+(* CLINK-style LSTM inference [9]: N = 256 nodes, floating point. Each gate
+   computes w . [x, h] with a vector of multipliers fed by the *shared*
+   current input element — a data broadcast — followed by an adder tree and
+   the elementwise nonlinearity (approximated by a bounded rational chain,
+   as HLS implements hard sigmoids). Four gates run as separate processes
+   feeding an elementwise combine kernel. *)
+
+let gate_kernel ~gate ~lanes =
+  let dag = Dag.create () in
+  let f32 = Dtype.Float32 in
+  let in_fifo =
+    Dag.add_fifo dag ~name:(Printf.sprintf "x_%s" gate) ~dtype:f32 ~depth:16
+  in
+  let out_fifo =
+    Dag.add_fifo dag ~name:(Printf.sprintf "g_%s" gate) ~dtype:f32 ~depth:16
+  in
+  let x = Dag.fifo_read dag ~fifo:in_fifo in
+  let h = Dag.input dag ~name:(Printf.sprintf "h_%s" gate) ~dtype:f32 in
+  (* weights stream from BRAM *)
+  let wbuf =
+    Dag.add_buffer dag
+      ~name:(Printf.sprintf "w_%s" gate)
+      ~dtype:(Dtype.Uint 512) ~depth:2048 ~partition:1
+  in
+  let widx = Dag.input dag ~name:(Printf.sprintf "widx_%s" gate) ~dtype:(Dtype.Int 32) in
+  let wword = Dag.load dag ~buffer:wbuf ~index:widx in
+  let weights = Builders.scatter_word dag ~word:wword ~parts:16 in
+  (* x (and h) broadcast to every multiplier lane *)
+  let x_prods = Builders.dot_lanes dag ~prefix:(gate ^ "x") ~lanes ~dtype:f32 ~shared:x in
+  let h_prods = Builders.dot_lanes dag ~prefix:(gate ^ "h") ~lanes ~dtype:f32 ~shared:h in
+  (* weights modulate a subset of lanes *)
+  let weighted =
+    List.mapi
+      (fun i p ->
+        let w = List.nth weights (i mod 16) in
+        let wf = Dag.op dag (Op.Slice (31, 0)) ~dtype:f32 [ w ] in
+        Dag.op dag Op.Fmul ~dtype:f32 [ p; wf ])
+      x_prods
+  in
+  let acc = Builders.reduce_sum dag ~dtype:f32 (weighted @ h_prods) in
+  (* hard-sigmoid-ish nonlinearity: scale, clamp via min/max against consts *)
+  let quarter = Dag.const dag ~dtype:f32 1048576L in
+  let half = Dag.const dag ~dtype:f32 2097152L in
+  let one = Dag.const dag ~dtype:f32 4194304L in
+  let zero = Dag.const dag ~dtype:f32 0L in
+  let scaled = Dag.op dag Op.Fmul ~dtype:f32 [ acc; quarter ] in
+  let shifted = Dag.op dag Op.Fadd ~dtype:f32 [ scaled; half ] in
+  let lt = Dag.op dag (Op.Fcmp Op.Lt) ~dtype:Dtype.Bool [ shifted; zero ] in
+  let lo = Dag.op dag Op.Select ~dtype:f32 [ lt; zero; shifted ] in
+  let gt = Dag.op dag (Op.Fcmp Op.Gt) ~dtype:Dtype.Bool [ lo; one ] in
+  let out = Dag.op dag Op.Select ~dtype:f32 [ gt; one; lo ] in
+  ignore (Dag.fifo_write dag ~fifo:out_fifo ~value:out);
+  Kernel.create ~name:(Printf.sprintf "lstm_%s" gate) ~trip_count:256 dag
+
+let combine_kernel () =
+  let dag = Dag.create () in
+  let f32 = Dtype.Float32 in
+  let read g = Dag.fifo_read dag ~fifo:(Dag.add_fifo dag ~name:("g_" ^ g) ~dtype:f32 ~depth:16) in
+  let i = read "i" and f = read "f" and o = read "o" and g = read "g" in
+  let c_prev = Dag.input dag ~name:"c_prev" ~dtype:f32 in
+  let fc = Dag.op dag Op.Fmul ~dtype:f32 [ f; c_prev ] in
+  let ig = Dag.op dag Op.Fmul ~dtype:f32 [ i; g ] in
+  let c = Dag.op dag Op.Fadd ~dtype:f32 [ fc; ig ] in
+  let h = Dag.op dag Op.Fmul ~dtype:f32 [ o; c ] in
+  let out = Dag.add_fifo dag ~name:"h_out" ~dtype:f32 ~depth:16 in
+  ignore (Dag.fifo_write dag ~fifo:out ~value:h);
+  Kernel.create ~name:"lstm_combine" ~trip_count:256 dag
+
+let dataflow ?(lanes = 24) () =
+  let df = Dataflow.create () in
+  let f32 = Dtype.Float32 in
+  let gates = [ "i"; "f"; "o"; "g" ] in
+  let combine = Dataflow.add_process df ~name:"lstm_combine" ~kernel:(combine_kernel ()) () in
+  List.iter
+    (fun gate ->
+      let p =
+        Dataflow.add_process df
+          ~name:(Printf.sprintf "lstm_%s" gate)
+          ~kernel:(gate_kernel ~gate ~lanes)
+          ()
+      in
+      ignore
+        (Dataflow.add_channel df
+           ~name:(Printf.sprintf "x_%s" gate)
+           ~src:(-1) ~dst:p ~dtype:f32 ~depth:16 ());
+      ignore
+        (Dataflow.add_channel df
+           ~name:(Printf.sprintf "g_%s" gate)
+           ~src:p ~dst:combine ~dtype:f32 ~depth:16 ()))
+    gates;
+  ignore
+    (Dataflow.add_channel df ~name:"h_out" ~src:combine ~dst:(-1) ~dtype:f32
+       ~depth:16 ());
+  df
+
+let spec =
+  Spec.make ~name:"LSTM Network" ~broadcast:"Data"
+    ~device:Hlsb_device.Device.ultrascale_plus
+    ~build:(fun () -> dataflow ())
+    ~paper:
+      {
+        Spec.p_lut = (8, 9);
+        p_ff = (6, 6);
+        p_bram = (2, 2);
+        p_dsp = (14, 14);
+        p_freq = (285, 325);
+      }

@@ -1,0 +1,102 @@
+open Hlsb_ir
+
+(* Blocked matrix multiply from the composable-accelerator generator [4],
+   with the parallelism pushed up as the paper does ("we further increase
+   the parallelism ... to expose the problem"). PE clusters are separate
+   dataflow kernels (the generator's composition), so each has its own
+   flow-control domain; within a cluster the streamed A element broadcasts
+   to every multiplier lane (data broadcast), and the whole cluster is a
+   deep FIFO-controlled pipeline (pipeline-control broadcast). *)
+
+let cluster_kernel ?(pes = 4) ?(dot_width = 60) ~cluster () =
+  let dag = Dag.create () in
+  let f32 = Dtype.Float32 in
+  let a_fifo =
+    Dag.add_fifo dag ~name:(Printf.sprintf "a_in%d" cluster) ~dtype:f32 ~depth:16
+  in
+  let out_fifo =
+    Dag.add_fifo dag
+      ~name:(Printf.sprintf "part%d" cluster)
+      ~dtype:(Dtype.Uint 128) ~depth:16
+  in
+  let a = Dag.fifo_read dag ~fifo:a_fifo in
+  (* per-cluster B tile in BRAM *)
+  let b_buf =
+    Dag.add_buffer dag
+      ~name:(Printf.sprintf "b_tile%d" cluster)
+      ~dtype:(Dtype.Uint 512) ~depth:4096 ~partition:1
+  in
+  let bidx = Dag.input dag ~name:(Printf.sprintf "bidx%d" cluster) ~dtype:(Dtype.Int 32) in
+  let bword = Dag.load dag ~buffer:b_buf ~index:bidx in
+  let b_slices = Builders.scatter_word dag ~word:bword ~parts:16 in
+  let partials =
+    List.init pes (fun pe ->
+      let prods =
+        List.init dot_width (fun i ->
+          let b =
+            let s = List.nth b_slices ((pe + i) mod 16) in
+            Dag.op dag (Op.Slice (31, 0)) ~dtype:f32 [ s ]
+          in
+          let priv =
+            Dag.input dag
+              ~name:(Printf.sprintf "b%d_%d_%d" cluster pe i)
+              ~dtype:f32
+          in
+          let ab = Dag.op dag Op.Fmul ~dtype:f32 [ a; priv ] in
+          Dag.op dag Op.Fadd ~dtype:f32 [ ab; b ])
+      in
+      Builders.reduce_sum dag ~dtype:f32 prods)
+  in
+  let packed = Dag.op dag Op.Concat ~dtype:(Dtype.Uint 128) partials in
+  ignore (Dag.fifo_write dag ~fifo:out_fifo ~value:packed);
+  Kernel.create ~name:(Printf.sprintf "mm_cluster%d" cluster) ~trip_count:65536 dag
+
+let collect_kernel ~clusters =
+  let dag = Dag.create () in
+  let words =
+    List.init clusters (fun c ->
+      Dag.fifo_read dag
+        ~fifo:
+          (Dag.add_fifo dag
+             ~name:(Printf.sprintf "part%d" c)
+             ~dtype:(Dtype.Uint 128) ~depth:16))
+  in
+  let packed = Dag.op dag Op.Concat ~dtype:(Dtype.Uint 512) words in
+  let out = Dag.add_fifo dag ~name:"c_out" ~dtype:(Dtype.Uint 512) ~depth:16 in
+  ignore (Dag.fifo_write dag ~fifo:out ~value:packed);
+  Kernel.create ~name:"mm_collect" ~trip_count:65536 dag
+
+let dataflow ?(clusters = 4) ?(pes = 4) ?(dot_width = 60) () =
+  let df = Dataflow.create () in
+  let collect =
+    Dataflow.add_process df ~name:"mm_collect" ~kernel:(collect_kernel ~clusters) ()
+  in
+  for c = 0 to clusters - 1 do
+    let k = cluster_kernel ~pes ~dot_width ~cluster:c () in
+    let p = Dataflow.add_process df ~name:k.Kernel.name ~kernel:k () in
+    ignore
+      (Dataflow.add_channel df
+         ~name:(Printf.sprintf "a_in%d" c)
+         ~src:(-1) ~dst:p ~dtype:Dtype.Float32 ~depth:16 ());
+    ignore
+      (Dataflow.add_channel df
+         ~name:(Printf.sprintf "part%d" c)
+         ~src:p ~dst:collect ~dtype:(Dtype.Uint 128) ~depth:16 ())
+  done;
+  ignore
+    (Dataflow.add_channel df ~name:"c_out" ~src:collect ~dst:(-1)
+       ~dtype:(Dtype.Uint 512) ~depth:16 ());
+  df
+
+let spec =
+  Spec.make ~name:"Matrix Multiply" ~broadcast:"Pipe. Ctrl. & Data"
+    ~device:Hlsb_device.Device.ultrascale_plus
+    ~build:(fun () -> dataflow ())
+    ~paper:
+      {
+        Spec.p_lut = (23, 23);
+        p_ff = (24, 27);
+        p_bram = (25, 25);
+        p_dsp = (74, 74);
+        p_freq = (202, 299);
+      }

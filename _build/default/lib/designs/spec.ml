@@ -1,0 +1,26 @@
+open Hlsb_ir
+
+type paper_numbers = {
+  p_lut : int * int;
+  p_ff : int * int;
+  p_bram : int * int;
+  p_dsp : int * int;
+  p_freq : int * int;
+}
+
+type t = {
+  sp_name : string;
+  sp_broadcast : string;
+  sp_device : Hlsb_device.Device.t;
+  sp_build : unit -> Dataflow.t;
+  sp_paper : paper_numbers;
+}
+
+let make ~name ~broadcast ~device ~build ~paper =
+  {
+    sp_name = name;
+    sp_broadcast = broadcast;
+    sp_device = device;
+    sp_build = build;
+    sp_paper = paper;
+  }

@@ -1,0 +1,29 @@
+(** A Table-1 benchmark entry: how to build it, which device the paper used,
+    and the paper's reported numbers (for the paper-vs-measured columns of
+    EXPERIMENTS.md). *)
+
+open Hlsb_ir
+
+type paper_numbers = {
+  p_lut : int * int;  (** original, optimized utilization %% *)
+  p_ff : int * int;
+  p_bram : int * int;
+  p_dsp : int * int;
+  p_freq : int * int;  (** original, optimized MHz *)
+}
+
+type t = {
+  sp_name : string;
+  sp_broadcast : string;  (** the paper's "Broadcast type" column *)
+  sp_device : Hlsb_device.Device.t;
+  sp_build : unit -> Dataflow.t;
+  sp_paper : paper_numbers;
+}
+
+val make :
+  name:string ->
+  broadcast:string ->
+  device:Hlsb_device.Device.t ->
+  build:(unit -> Dataflow.t) ->
+  paper:paper_numbers ->
+  t

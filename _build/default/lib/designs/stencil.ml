@@ -1,0 +1,86 @@
+open Hlsb_ir
+
+(* SODA-generated Jacobi 2D stencil [2]: line buffers feed a 3x3 window
+   whose taps broadcast to a vector of float multiply-add lanes; §5.4
+   concatenates several stencil iterations into one super-pipeline, all
+   under a single flow-control domain — so under stall control the
+   stall/enable net fans out to every stage of every iteration, and Fmax
+   collapses as iterations are added (Fig. 16). *)
+
+let kernel ?(iterations = 1) ?(lanes = 16) () =
+  let dag = Dag.create () in
+  let f32 = Dtype.Float32 in
+  let i32 = Dtype.Int 32 in
+  let word_t = Dtype.Uint 512 in
+  let in_fifo = Dag.add_fifo dag ~name:"st_in" ~dtype:word_t ~depth:16 in
+  let out_fifo = Dag.add_fifo dag ~name:"st_out" ~dtype:word_t ~depth:16 in
+  let col = Dag.input dag ~name:"col" ~dtype:i32 in
+  let third = Dag.const dag ~dtype:f32 1051372203L in
+  let rec iterate it word =
+    if it = iterations then word
+    else begin
+      (* two line buffers give the three vertical taps *)
+      let row1 =
+        Builders.line_buffer dag
+          ~name:(Printf.sprintf "it%d_line0" it)
+          ~dtype:word_t ~depth:4096 ~write:word ~index:col
+      in
+      let row2 =
+        Builders.line_buffer dag
+          ~name:(Printf.sprintf "it%d_line1" it)
+          ~dtype:word_t ~depth:4096 ~write:row1 ~index:col
+      in
+      let taps w = Builders.scatter_word dag ~word:w ~parts:lanes in
+      let t0 = taps word and t1 = taps row1 and t2 = taps row2 in
+      let as_f32 n = Dag.op dag (Op.Slice (31, 0)) ~dtype:f32 [ n ] in
+      let outs =
+        List.init lanes (fun l ->
+          let w_c = as_f32 (List.nth t1 l) in
+          let w_n = as_f32 (List.nth t0 l) in
+          let w_s = as_f32 (List.nth t2 l) in
+          let w_e = as_f32 (List.nth t1 ((l + 1) mod lanes)) in
+          let w_w = as_f32 (List.nth t1 ((l + lanes - 1) mod lanes)) in
+          (* 5-point weighted sum *)
+          let p1 = Dag.op dag Op.Fmul ~dtype:f32 [ w_c; third ] in
+          let s1 = Dag.op dag Op.Fadd ~dtype:f32 [ w_n; w_s ] in
+          let s2 = Dag.op dag Op.Fadd ~dtype:f32 [ w_e; w_w ] in
+          let s3 = Dag.op dag Op.Fadd ~dtype:f32 [ s1; s2 ] in
+          let p2 = Dag.op dag Op.Fmul ~dtype:f32 [ s3; third ] in
+          Dag.op dag Op.Fadd ~dtype:f32 [ p1; p2 ])
+      in
+      let packed = Dag.op dag Op.Concat ~dtype:word_t outs in
+      iterate (it + 1) packed
+    end
+  in
+  let first = Dag.fifo_read dag ~fifo:in_fifo in
+  let final = iterate 0 first in
+  ignore (Dag.fifo_write dag ~fifo:out_fifo ~value:final);
+  Kernel.create
+    ~name:(Printf.sprintf "stencil_x%d" iterations)
+    ~trip_count:1048576 dag
+
+let dataflow ?iterations ?lanes () =
+  let df = Dataflow.create () in
+  let k = kernel ?iterations ?lanes () in
+  let p = Dataflow.add_process df ~name:k.Kernel.name ~kernel:k () in
+  ignore
+    (Dataflow.add_channel df ~name:"st_in" ~src:(-1) ~dst:p
+       ~dtype:(Dtype.Uint 512) ~depth:16 ());
+  ignore
+    (Dataflow.add_channel df ~name:"st_out" ~src:p ~dst:(-1)
+       ~dtype:(Dtype.Uint 512) ~depth:16 ());
+  df
+
+let spec =
+  (* Table 1's stencil row is the big configuration. *)
+  Spec.make ~name:"Stencil" ~broadcast:"Pipe. Ctrl."
+    ~device:Hlsb_device.Device.ultrascale_plus
+    ~build:(fun () -> dataflow ~iterations:8 ())
+    ~paper:
+      {
+        Spec.p_lut = (40, 40);
+        p_ff = (41, 41);
+        p_bram = (30, 29);
+        p_dsp = (83, 83);
+        p_freq = (120, 253);
+      }

@@ -1,0 +1,51 @@
+open Hlsb_ir
+
+(* The stream buffer of Fig. 18: data streams into a very large on-chip
+   buffer and back out. The write data register fans out to every BRAM unit
+   (data broadcast, Fig. 4) and under stall control the enable signal fans
+   out to every unit as well (pipeline-control broadcast) — the design the
+   paper uses to show that *both* must be fixed (Fig. 19). *)
+
+let kernel ?(depth_words = 131072) ?(width = 512) () =
+  let dag = Dag.create () in
+  let dt = Dtype.Uint width in
+  let i32 = Dtype.Int 32 in
+  let in_fifo = Dag.add_fifo dag ~name:"sb_in" ~dtype:dt ~depth:16 in
+  let out_fifo = Dag.add_fifo dag ~name:"sb_out" ~dtype:dt ~depth:16 in
+  let buf =
+    Dag.add_buffer dag ~name:"big_buffer" ~dtype:dt ~depth:depth_words
+      ~partition:1
+  in
+  let wr_i = Dag.input dag ~name:"wr_i" ~dtype:i32 in
+  let rd_i = Dag.input dag ~name:"rd_i" ~dtype:i32 in
+  let data = Dag.fifo_read dag ~fifo:in_fifo in
+  ignore (Dag.store dag ~buffer:buf ~index:wr_i ~value:data);
+  let out = Dag.load dag ~buffer:buf ~index:rd_i in
+  ignore (Dag.fifo_write dag ~fifo:out_fifo ~value:out);
+  Kernel.create ~name:"stream_buffer" ~trip_count:depth_words dag
+
+let dataflow ?depth_words ?width () =
+  let df = Dataflow.create () in
+  let k = kernel ?depth_words ?width () in
+  let p = Dataflow.add_process df ~name:k.Kernel.name ~kernel:k () in
+  let dt = Dtype.Uint (match width with Some w -> w | None -> 512) in
+  ignore
+    (Dataflow.add_channel df ~name:"sb_in" ~src:(-1) ~dst:p ~dtype:dt
+       ~depth:16 ());
+  ignore
+    (Dataflow.add_channel df ~name:"sb_out" ~src:p ~dst:(-1) ~dtype:dt
+       ~depth:16 ());
+  df
+
+let spec =
+  Spec.make ~name:"Stream Buffer" ~broadcast:"Pipe. Ctrl. & Data"
+    ~device:Hlsb_device.Device.ultrascale_plus
+    ~build:(fun () -> dataflow ())
+    ~paper:
+      {
+        Spec.p_lut = (1, 1);
+        p_ff = (1, 1);
+        p_bram = (95, 95);
+        p_dsp = (0, 0);
+        p_freq = (154, 281);
+      }

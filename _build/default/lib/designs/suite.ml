@@ -1,0 +1,14 @@
+let all =
+  [
+    Genome.spec;
+    Lstm.spec;
+    Face_detect.spec;
+    Matmul.spec;
+    Stream_buffer.spec;
+    Stencil.spec;
+    Vector_arith.spec;
+    Hbm_stencil.spec;
+    Pattern_match.spec;
+  ]
+
+let find name = List.find_opt (fun s -> s.Spec.sp_name = name) all

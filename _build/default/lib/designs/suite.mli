@@ -1,0 +1,4 @@
+(** The nine Table-1 benchmarks, in the paper's row order. *)
+
+val all : Spec.t list
+val find : string -> Spec.t option

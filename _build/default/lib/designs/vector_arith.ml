@@ -1,0 +1,120 @@
+open Hlsb_ir
+
+(* The 512-wide vector product of §5.4 / Table 2: (a . b) * c. Parallel
+   dot-product PEs are synchronized by the controller (Fig. 5b), the final
+   scalar broadcasts to the c-side multipliers, and the whole datapath is a
+   deep pipeline behind FIFO flow control. Fig. 17 uses the 32-wide
+   configuration of the same design. *)
+
+let pe_kernel ~pe ~width =
+  let dag = Dag.create () in
+  let f32 = Dtype.Float32 in
+  let a_fifo = Dag.add_fifo dag ~name:(Printf.sprintf "va_a%d" pe) ~dtype:f32 ~depth:16 in
+  let out_fifo = Dag.add_fifo dag ~name:(Printf.sprintf "va_p%d" pe) ~dtype:f32 ~depth:16 in
+  let a = Dag.fifo_read dag ~fifo:a_fifo in
+  let prods = Builders.dot_lanes dag ~prefix:(Printf.sprintf "pe%d" pe) ~lanes:width ~dtype:f32 ~shared:a in
+  let dot = Builders.reduce_sum dag ~dtype:f32 prods in
+  ignore (Dag.fifo_write dag ~fifo:out_fifo ~value:dot);
+  Kernel.create ~name:(Printf.sprintf "va_pe%d" pe) ~trip_count:4096 dag
+
+let scale_kernel ~pes ~out_width =
+  let dag = Dag.create () in
+  let f32 = Dtype.Float32 in
+  let partials =
+    List.init pes (fun pe ->
+      Dag.fifo_read dag
+        ~fifo:(Dag.add_fifo dag ~name:(Printf.sprintf "va_p%d" pe) ~dtype:f32 ~depth:16))
+  in
+  let scalar = Builders.reduce_sum dag ~dtype:f32 partials in
+  (* the dot-product scalar broadcasts to every c-side multiplier *)
+  let outs =
+    List.init out_width (fun i ->
+      let c = Dag.input dag ~name:(Printf.sprintf "c%d" i) ~dtype:f32 in
+      Dag.op dag Op.Fmul ~dtype:f32 [ scalar; c ])
+  in
+  let packed =
+    Dag.op dag Op.Concat
+      ~dtype:(Dtype.Uint (32 * min 16 out_width))
+      (List.filteri (fun i _ -> i < 16) outs)
+  in
+  let out_fifo =
+    Dag.add_fifo dag ~name:"va_out" ~dtype:(Dag.dtype dag packed) ~depth:16
+  in
+  ignore (Dag.fifo_write dag ~fifo:out_fifo ~value:packed);
+  ignore (Builders.reduce_sum dag ~dtype:f32 outs |> fun s ->
+          Dag.output dag ~name:"va_check" ~value:s);
+  Kernel.create ~name:"va_scale" ~trip_count:4096 dag
+
+let dataflow ?(width = 512) ?(pes = 4) () =
+  let df = Dataflow.create () in
+  let f32 = Dtype.Float32 in
+  let per_pe = width / pes in
+  let scale =
+    Dataflow.add_process df ~name:"va_scale"
+      ~kernel:(scale_kernel ~pes ~out_width:width)
+      ~latency:(12 + per_pe) ()
+  in
+  let pe_procs =
+    List.init pes (fun pe ->
+      let p =
+        Dataflow.add_process df
+          ~name:(Printf.sprintf "va_pe%d" pe)
+          ~kernel:(pe_kernel ~pe ~width:per_pe)
+          ~latency:(20 + (4 * pe)) ()
+      in
+      ignore
+        (Dataflow.add_channel df
+           ~name:(Printf.sprintf "va_a%d" pe)
+           ~src:(-1) ~dst:p ~dtype:f32 ~depth:16 ());
+      ignore
+        (Dataflow.add_channel df
+           ~name:(Printf.sprintf "va_p%d" pe)
+           ~src:p ~dst:scale ~dtype:f32 ~depth:16 ());
+      p)
+  in
+  ignore
+    (Dataflow.add_channel df ~name:"va_out" ~src:scale ~dst:(-1)
+       ~dtype:(Dtype.Uint 512) ~depth:16 ());
+  (* the controller synchronizes the parallel PEs every call (Fig. 5b) *)
+  Dataflow.add_sync_group df (pe_procs @ [ scale ]);
+  df
+
+let spec =
+  Spec.make ~name:"Vector Arithmetic" ~broadcast:"Pipe. Ctrl. & Sync."
+    ~device:Hlsb_device.Device.ultrascale_plus
+    ~build:(fun () -> dataflow ())
+    ~paper:
+      {
+        Spec.p_lut = (17, 17);
+        p_ff = (16, 15);
+        p_bram = (0, 1);
+        p_dsp = (60, 60);
+        p_freq = (195, 301);
+      }
+
+(* Fig. 17's single-pipeline configuration: the whole (a . b) * c datapath
+   in one kernel, so the schedule's per-stage live widths show the spindle
+   shape (wide product vector, one-scalar waist at the end of the reduction,
+   wide again on the c side). *)
+let single_kernel ?(width = 32) () =
+  let dag = Dag.create () in
+  let f32 = Dtype.Float32 in
+  let a_fifo = Dag.add_fifo dag ~name:"dsk_a" ~dtype:f32 ~depth:16 in
+  let a = Dag.fifo_read dag ~fifo:a_fifo in
+  let prods = Builders.dot_lanes dag ~prefix:"dsk" ~lanes:width ~dtype:f32 ~shared:a in
+  let scalar = Builders.reduce_sum dag ~dtype:f32 prods in
+  let outs =
+    List.init width (fun i ->
+      let c = Dag.input dag ~name:(Printf.sprintf "dsk_c%d" i) ~dtype:f32 in
+      Dag.op dag Op.Fmul ~dtype:f32 [ scalar; c ])
+  in
+  let packed =
+    Dag.op dag Op.Concat
+      ~dtype:(Dtype.Uint (32 * min 16 width))
+      (List.filteri (fun i _ -> i < 16) outs)
+  in
+  let out_fifo =
+    Dag.add_fifo dag ~name:"dsk_out" ~dtype:(Dag.dtype dag packed) ~depth:16
+  in
+  ignore (Dag.fifo_write dag ~fifo:out_fifo ~value:packed);
+  Kernel.create ~name:(Printf.sprintf "dot_scale_w%d" width) ~trip_count:4096 dag

@@ -1,0 +1,1 @@
+lib/frontend/elab.ml: Array Ast Dag Dataflow Dtype Hashtbl Hlsb_ir Int64 Kernel List Op Option Printf String

@@ -1,0 +1,1 @@
+lib/frontend/elab.mli: Ast Hlsb_ir

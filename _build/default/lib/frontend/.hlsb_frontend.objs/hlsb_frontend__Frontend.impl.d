@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Ast Dag Dataflow Elab Format Hashtbl Hlsb_ir Kernel Lexer List Parser Printf String

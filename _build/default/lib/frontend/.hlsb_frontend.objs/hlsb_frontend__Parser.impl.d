@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Ast Int64 List Printf Token

@@ -1,0 +1,80 @@
+(* Abstract syntax of the C subset. Types only; construction happens in
+   {!Parser}, consumption in {!Elab}. *)
+
+type ctype =
+  | C_bool
+  | C_int of int * bool  (* width, signed *)
+  | C_float
+  | C_double
+
+type binop =
+  | B_add
+  | B_sub
+  | B_mul
+  | B_div
+  | B_mod
+  | B_and
+  | B_or
+  | B_xor
+  | B_shl
+  | B_shr
+  | B_lt
+  | B_le
+  | B_gt
+  | B_ge
+  | B_eq
+  | B_ne
+  | B_land
+  | B_lor
+
+type unop =
+  | U_neg
+  | U_lnot
+  | U_bnot
+  | U_addr  (* &x, used only in fifo.read(&x) *)
+
+type expr =
+  | Int_const of int64
+  | Float_const of float
+  | Var of string
+  | Field of expr * string  (* prev[j].x *)
+  | Index of expr * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Ternary of expr * expr * expr
+  | Call of string * expr list  (* abs, min, max, log2 *)
+  | Method of string * string * expr list  (* fifo.read(), fifo.write(v) *)
+
+type stmt =
+  | Decl of ctype * string * int option * expr option
+      (* type, name, array size, initializer *)
+  | Stream_decl of ctype * string
+  | Assign of expr * expr
+  | Plus_assign of expr * expr
+  | Expr_stmt of expr
+  | For of for_loop
+  | If of expr * stmt list * stmt list
+  | Return of expr option
+  | Pragma_stmt of string
+
+and for_loop = {
+  fl_var : string;
+  fl_lo : int64;
+  fl_hi : int64;  (* exclusive bound: var < fl_hi *)
+  fl_pragmas : string list;  (* pragmas attached before/inside the loop *)
+  fl_body : stmt list;
+}
+
+type param =
+  | P_stream of ctype * string
+  | P_scalar of ctype * string
+  | P_array of ctype * string * int
+
+type func = {
+  f_name : string;
+  f_ret : ctype option;
+  f_params : param list;
+  f_body : stmt list;
+}
+
+type program = func list

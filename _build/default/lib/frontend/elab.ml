@@ -1,0 +1,575 @@
+open Hlsb_ir
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let buffer_threshold = 256
+
+let dtype_of_ctype = function
+  | Ast.C_bool -> Dtype.Bool
+  | Ast.C_int (w, true) -> Dtype.Int w
+  | Ast.C_int (w, false) -> Dtype.Uint w
+  | Ast.C_float -> Dtype.Float32
+  | Ast.C_double -> Dtype.Float64
+
+(* What a name is bound to during elaboration. *)
+type binding =
+  | Scalar of Dag.node
+  | Const_int of int64
+  | Reg_array of Dag.node option array
+  | Buffer of int
+  | Stream of int
+  | Param_array of Ast.ctype  (** unsized/lazy input array (e.g. prev[j].x) *)
+
+type ctx = {
+  dag : Dag.t;
+  env : (string, binding) Hashtbl.t;
+  lazy_inputs : (string, Dag.node) Hashtbl.t;
+  mutable trip_count : int;
+  mutable in_branch : bool;  (** side effects forbidden inside if-branches *)
+}
+
+let lookup ctx name =
+  match Hashtbl.find_opt ctx.env name with
+  | Some b -> b
+  | None -> fail "undeclared identifier %s" name
+
+let is_float_node ctx n = Dtype.is_float (Dag.dtype ctx.dag n)
+
+let as_node ctx ~like v =
+  match v with
+  | Scalar n -> n
+  | Const_int i ->
+    let dtype =
+      match like with
+      | Some n -> Dag.dtype ctx.dag n
+      | None -> Dtype.Int 32
+    in
+    let dtype = if Dtype.is_float dtype then Dtype.Int 32 else dtype in
+    Dag.const ctx.dag ~dtype i
+  | Reg_array _ | Buffer _ | Stream _ | Param_array _ ->
+    fail "expected a scalar value"
+
+let lazy_input ctx name ctype =
+  match Hashtbl.find_opt ctx.lazy_inputs name with
+  | Some n -> n
+  | None ->
+    let n = Dag.input ctx.dag ~name ~dtype:(dtype_of_ctype ctype) in
+    Hashtbl.add ctx.lazy_inputs name n;
+    n
+
+let const_index ctx = function
+  | Const_int i -> Int64.to_int i
+  | Scalar n -> (
+    match Dag.kind ctx.dag n with
+    | Dag.Const v -> Int64.to_int v
+    | _ -> fail "register-array index must be a compile-time constant")
+  | _ -> fail "bad array index"
+
+(* Mangled name of an lvalue path (for struct fields over params):
+   prev[j].x with j = 3 becomes "prev.x[3]" on the parallel array
+   "prev.x". *)
+let rec base_path = function
+  | Ast.Var v -> v
+  | Ast.Field (e, f) -> base_path e ^ "." ^ f
+  | Ast.Index (e, _) -> base_path e
+  | _ -> fail "unsupported lvalue shape"
+
+let result_dtype ctx op a b =
+  let da = Dag.dtype ctx.dag a and db = Dag.dtype ctx.dag b in
+  ignore op;
+  if Dtype.is_float da then da
+  else if Dtype.is_float db then db
+  else if Dtype.width da >= Dtype.width db then da
+  else db
+
+let rec eval ctx (e : Ast.expr) : binding =
+  match e with
+  | Ast.Int_const v -> Const_int v
+  | Ast.Float_const v ->
+    Scalar (Dag.const ctx.dag ~dtype:Dtype.Float32 (Int64.of_float (v *. 1e6)))
+  | Ast.Var name -> (
+    match lookup ctx name with
+    | Const_int _ as c -> c
+    | Scalar _ as s -> s
+    | other -> other)
+  | Ast.Field (base, field) -> (
+    (* fields of parameters / parameter arrays: parallel lazy inputs *)
+    match base with
+    | Ast.Var v -> (
+      match Hashtbl.find_opt ctx.env v with
+      | Some (Param_array _) -> fail "field access on array %s needs an index" v
+      | Some (Scalar _) | None ->
+        Scalar (lazy_input ctx (v ^ "." ^ field) (Ast.C_int (32, true)))
+      | Some (Const_int _ | Reg_array _ | Buffer _ | Stream _) ->
+        fail "field access on %s is not supported" v)
+    | Ast.Index (Ast.Var v, idx) ->
+      let i = const_index ctx (eval ctx idx) in
+      (match Hashtbl.find_opt ctx.env v with
+      | Some (Param_array ty) ->
+        Scalar (lazy_input ctx (Printf.sprintf "%s.%s[%d]" v field i) ty)
+      | Some _ | None ->
+        Scalar
+          (lazy_input ctx
+             (Printf.sprintf "%s.%s[%d]" v field i)
+             (Ast.C_int (32, true))))
+    | _ -> fail "unsupported field access")
+  | Ast.Index (base, idx) -> (
+    let name = base_path base in
+    match lookup ctx name with
+    | Buffer b ->
+      let idx_n = as_node ctx ~like:None (eval ctx idx) in
+      Scalar (Dag.load ctx.dag ~buffer:b ~index:idx_n)
+    | Reg_array arr -> (
+      let i = const_index ctx (eval ctx idx) in
+      if i < 0 || i >= Array.length arr then
+        fail "index %d out of bounds for %s" i name;
+      match arr.(i) with
+      | Some n -> Scalar n
+      | None -> fail "%s[%d] read before assignment" name i)
+    | Param_array ty ->
+      let i = const_index ctx (eval ctx idx) in
+      Scalar (lazy_input ctx (Printf.sprintf "%s[%d]" name i) ty)
+    | Scalar _ | Const_int _ | Stream _ -> fail "%s is not an array" name)
+  | Ast.Binop (op, a, b) -> eval_binop ctx op a b
+  | Ast.Unop (op, a) -> eval_unop ctx op a
+  | Ast.Ternary (c, t, f) ->
+    let cn = as_node ctx ~like:None (eval ctx c) in
+    let tv = eval ctx t in
+    let fv = eval ctx f in
+    let tn = as_node ctx ~like:None tv in
+    let fn = as_node ctx ~like:(Some tn) fv in
+    let dtype = Dag.dtype ctx.dag tn in
+    Scalar (Dag.op ctx.dag Op.Select ~dtype [ cn; tn; fn ])
+  | Ast.Call (fn, args) -> eval_call ctx fn args
+  | Ast.Method (obj, meth, args) -> eval_method ctx obj meth args
+
+and eval_binop ctx op a b =
+  (* constant folding keeps loop-index arithmetic out of the DAG *)
+  let va = eval ctx a and vb = eval ctx b in
+  match (va, vb, op) with
+  | Const_int x, Const_int y, Ast.B_add -> Const_int (Int64.add x y)
+  | Const_int x, Const_int y, Ast.B_sub -> Const_int (Int64.sub x y)
+  | Const_int x, Const_int y, Ast.B_mul -> Const_int (Int64.mul x y)
+  | Const_int x, Const_int y, Ast.B_div when y <> 0L -> Const_int (Int64.div x y)
+  | Const_int x, Const_int y, Ast.B_mod when y <> 0L -> Const_int (Int64.rem x y)
+  | Const_int x, Const_int y, Ast.B_shl ->
+    Const_int (Int64.shift_left x (Int64.to_int y))
+  | Const_int x, Const_int y, Ast.B_shr ->
+    Const_int (Int64.shift_right x (Int64.to_int y))
+  | _ ->
+    let na = as_node ctx ~like:None va in
+    let nb = as_node ctx ~like:(Some na) vb in
+    let fl = is_float_node ctx na || is_float_node ctx nb in
+    let dtype = result_dtype ctx op na nb in
+    let mk o = Scalar (Dag.op ctx.dag o ~dtype [ na; nb ]) in
+    let cmp c fc =
+      Scalar
+        (Dag.op ctx.dag (if fl then Op.Fcmp fc else Op.Icmp c) ~dtype:Dtype.Bool
+           [ na; nb ])
+    in
+    (match op with
+    | Ast.B_add -> mk (if fl then Op.Fadd else Op.Add)
+    | Ast.B_sub -> mk (if fl then Op.Fsub else Op.Sub)
+    | Ast.B_mul -> mk (if fl then Op.Fmul else Op.Mul)
+    | Ast.B_div -> mk (if fl then Op.Fdiv else Op.Div)
+    | Ast.B_mod ->
+      if fl then fail "%% on floats is not supported";
+      (* a - (a / b) * b *)
+      let q = Dag.op ctx.dag Op.Div ~dtype [ na; nb ] in
+      let p = Dag.op ctx.dag Op.Mul ~dtype [ q; nb ] in
+      Scalar (Dag.op ctx.dag Op.Sub ~dtype [ na; p ])
+    | Ast.B_and -> mk Op.And_
+    | Ast.B_or -> mk Op.Or_
+    | Ast.B_xor -> mk Op.Xor
+    | Ast.B_shl -> mk Op.Shl
+    | Ast.B_shr -> mk Op.Shr
+    | Ast.B_lt -> cmp Op.Lt Op.Lt
+    | Ast.B_le -> cmp Op.Le Op.Le
+    | Ast.B_gt -> cmp Op.Gt Op.Gt
+    | Ast.B_ge -> cmp Op.Ge Op.Ge
+    | Ast.B_eq -> cmp Op.Eq Op.Eq
+    | Ast.B_ne -> cmp Op.Ne Op.Ne
+    | Ast.B_land ->
+      Scalar (Dag.op ctx.dag Op.And_ ~dtype:Dtype.Bool [ na; nb ])
+    | Ast.B_lor -> Scalar (Dag.op ctx.dag Op.Or_ ~dtype:Dtype.Bool [ na; nb ]))
+
+and eval_unop ctx op a =
+  match (op, eval ctx a) with
+  | Ast.U_neg, Const_int v -> Const_int (Int64.neg v)
+  | Ast.U_neg, v ->
+    let n = as_node ctx ~like:None v in
+    let dtype = Dag.dtype ctx.dag n in
+    let zero =
+      if Dtype.is_float dtype then Dag.const ctx.dag ~dtype 0L
+      else Dag.const ctx.dag ~dtype 0L
+    in
+    Scalar
+      (Dag.op ctx.dag (if Dtype.is_float dtype then Op.Fsub else Op.Sub) ~dtype
+         [ zero; n ])
+  | Ast.U_lnot, v ->
+    let n = as_node ctx ~like:None v in
+    Scalar (Dag.op ctx.dag Op.Not ~dtype:Dtype.Bool [ n ])
+  | Ast.U_bnot, v ->
+    let n = as_node ctx ~like:None v in
+    Scalar (Dag.op ctx.dag Op.Not ~dtype:(Dag.dtype ctx.dag n) [ n ])
+  | Ast.U_addr, _ -> fail "& is only supported in stream.read(&x)"
+
+and eval_call ctx fn args =
+  let nodes () = List.map (fun a -> as_node ctx ~like:None (eval ctx a)) args in
+  match (fn, nodes ()) with
+  | "abs", [ x ] -> Scalar (Dag.op ctx.dag Op.Abs ~dtype:(Dag.dtype ctx.dag x) [ x ])
+  | "min", [ a; b ] -> Scalar (Dag.op ctx.dag Op.Min ~dtype:(result_dtype ctx Ast.B_add a b) [ a; b ])
+  | "max", [ a; b ] -> Scalar (Dag.op ctx.dag Op.Max ~dtype:(result_dtype ctx Ast.B_add a b) [ a; b ])
+  | "log2", [ x ] -> Scalar (Dag.op ctx.dag Op.Log2 ~dtype:(Dag.dtype ctx.dag x) [ x ])
+  | ("abs" | "min" | "max" | "log2"), _ -> fail "wrong arity for %s" fn
+  | _, _ -> fail "unknown function %s (kernel calls belong in dataflow regions)" fn
+
+and eval_method ctx obj meth args =
+  match (lookup ctx obj, meth, args) with
+  | Stream f, "read", [] -> Scalar (Dag.fifo_read ctx.dag ~fifo:f)
+  | Stream f, "read", [ Ast.Unop (Ast.U_addr, Ast.Var target) ] ->
+    if ctx.in_branch then fail "stream reads inside if-branches are not supported";
+    let n = Dag.fifo_read ctx.dag ~fifo:f in
+    Hashtbl.replace ctx.env target (Scalar n);
+    Scalar n
+  | Stream f, "write", [ v ] ->
+    if ctx.in_branch then fail "stream writes inside if-branches are not supported";
+    let n = as_node ctx ~like:None (eval ctx v) in
+    ignore (Dag.fifo_write ctx.dag ~fifo:f ~value:n);
+    Scalar n
+  | Stream _, m, _ -> fail "unsupported stream method .%s" m
+  | _, _, _ -> fail "%s is not a stream" obj
+
+(* ---- statements ---- *)
+
+let pragma_words p =
+  String.split_on_char ' ' p
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+  |> List.map String.lowercase_ascii
+
+let pragma_is kind p =
+  match pragma_words p with
+  | "hls" :: rest -> List.mem kind rest
+  | _ -> false
+
+let pragma_factor p =
+  (* "unroll factor=8" *)
+  List.find_map
+    (fun w ->
+      match String.index_opt w '=' with
+      | Some i when String.sub w 0 i = "factor" ->
+        int_of_string_opt (String.sub w (i + 1) (String.length w - i - 1))
+      | _ -> None)
+    (pragma_words p)
+
+let rec exec ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Pragma_stmt _ -> () (* free-standing pragmas outside loops: ignored *)
+  | Ast.Stream_decl (ty, name) ->
+    let f =
+      Dag.add_fifo ctx.dag ~name ~dtype:(dtype_of_ctype ty) ~depth:16
+    in
+    Hashtbl.replace ctx.env name (Stream f)
+  | Ast.Decl (ty, name, None, init) ->
+    let b =
+      match init with
+      | None ->
+        Scalar (Dag.input ctx.dag ~name ~dtype:(dtype_of_ctype ty))
+      | Some e -> (
+        match eval ctx e with
+        | Const_int v ->
+          Scalar (Dag.const ctx.dag ~dtype:(dtype_of_ctype ty) v)
+        | v -> Scalar (as_node ctx ~like:None v))
+    in
+    Hashtbl.replace ctx.env name b
+  | Ast.Decl (ty, name, Some size, init) ->
+    if init <> None then fail "array initializers are not supported";
+    if size >= buffer_threshold then begin
+      let b =
+        Dag.add_buffer ctx.dag ~name ~dtype:(dtype_of_ctype ty) ~depth:size
+          ~partition:1
+      in
+      Hashtbl.replace ctx.env name (Buffer b)
+    end
+    else Hashtbl.replace ctx.env name (Reg_array (Array.make size None))
+  | Ast.Assign (lhs, rhs) -> assign ctx lhs (eval ctx rhs)
+  | Ast.Plus_assign (lhs, rhs) ->
+    let sum = eval_binop ctx Ast.B_add lhs rhs in
+    assign ctx lhs sum
+  | Ast.Expr_stmt e -> ignore (eval ctx e)
+  | Ast.Return None -> ()
+  | Ast.Return (Some e) ->
+    let n = as_node ctx ~like:None (eval ctx e) in
+    ignore (Dag.output ctx.dag ~name:"return" ~value:n)
+  | Ast.If (cond, then_, else_) -> exec_if ctx cond then_ else_
+  | Ast.For fl -> exec_for ctx fl
+
+and assign ctx lhs v =
+  match lhs with
+  | Ast.Var name | Ast.Field (Ast.Var name, _) when lhs = Ast.Var name -> (
+    match Hashtbl.find_opt ctx.env name with
+    | Some (Buffer _ | Stream _ | Reg_array _ | Param_array _) ->
+      fail "cannot assign a scalar to %s" name
+    | Some _ | None -> Hashtbl.replace ctx.env name (Scalar (as_node ctx ~like:None v)))
+  | Ast.Field _ ->
+    let name = base_path lhs in
+    Hashtbl.replace ctx.env name (Scalar (as_node ctx ~like:None v))
+  | Ast.Index (base, idx) -> (
+    let name = base_path base in
+    match lookup ctx name with
+    | Buffer b ->
+      if ctx.in_branch then
+        fail "memory stores inside if-branches are not supported; use a ternary";
+      let idx_n = as_node ctx ~like:None (eval ctx idx) in
+      let vn = as_node ctx ~like:None v in
+      ignore (Dag.store ctx.dag ~buffer:b ~index:idx_n ~value:vn)
+    | Reg_array arr ->
+      let i = const_index ctx (eval ctx idx) in
+      if i < 0 || i >= Array.length arr then
+        fail "index %d out of bounds for %s" i name;
+      arr.(i) <- Some (as_node ctx ~like:None v)
+    | Param_array _ -> fail "parameter array %s is read-only" name
+    | Scalar _ | Const_int _ | Stream _ -> fail "%s is not an array" name)
+  | _ -> fail "unsupported assignment target"
+
+and exec_if ctx cond then_ else_ =
+  let cn = as_node ctx ~like:None (eval ctx cond) in
+  (* run each branch on a snapshot, then merge changed scalars and
+     register-array slots with selects *)
+  let snapshot () =
+    let copy = Hashtbl.copy ctx.env in
+    (* deep-copy register arrays so branch writes do not leak *)
+    Hashtbl.iter
+      (fun k v ->
+        match v with
+        | Reg_array arr -> Hashtbl.replace copy k (Reg_array (Array.copy arr))
+        | _ -> ())
+      ctx.env;
+    copy
+  in
+  let base = snapshot () in
+  let was_in_branch = ctx.in_branch in
+  ctx.in_branch <- true;
+  List.iter (exec ctx) then_;
+  let then_env = ctx.env |> Hashtbl.copy in
+  Hashtbl.iter
+    (fun k v ->
+      match v with
+      | Reg_array arr -> Hashtbl.replace then_env k (Reg_array (Array.copy arr))
+      | _ -> ())
+    ctx.env;
+  (* restore, run else *)
+  Hashtbl.reset ctx.env;
+  Hashtbl.iter (fun k v -> Hashtbl.replace ctx.env k v) base;
+  List.iter (exec ctx) else_;
+  ctx.in_branch <- was_in_branch;
+  (* merge: for every name bound in either branch, select *)
+  let merge_scalar k tv ev =
+    let tn = as_node ctx ~like:None tv in
+    let en = as_node ctx ~like:(Some tn) ev in
+    if tn = en then ()
+    else
+      Hashtbl.replace ctx.env k
+        (Scalar
+           (Dag.op ctx.dag Op.Select ~dtype:(Dag.dtype ctx.dag tn) [ cn; tn; en ]))
+  in
+  Hashtbl.iter
+    (fun k tv ->
+      match (tv, Hashtbl.find_opt ctx.env k) with
+      | (Scalar _ | Const_int _), Some ((Scalar _ | Const_int _) as ev) ->
+        merge_scalar k tv ev
+      | (Scalar _ | Const_int _), None -> () (* then-branch-local temp *)
+      | Reg_array tarr, Some (Reg_array earr)
+        when Array.length tarr = Array.length earr ->
+        let merged =
+          Array.init (Array.length tarr) (fun i ->
+            match (tarr.(i), earr.(i)) with
+            | Some tn, Some en when tn <> en ->
+              Some
+                (Dag.op ctx.dag Op.Select ~dtype:(Dag.dtype ctx.dag tn)
+                   [ cn; tn; en ])
+            | Some tn, None -> Some tn
+            | t, _ -> t)
+        in
+        Hashtbl.replace ctx.env k (Reg_array merged)
+      | _ -> ())
+    then_env
+
+and exec_for ctx fl =
+  let trips = Int64.to_int (Int64.sub fl.Ast.fl_hi fl.Ast.fl_lo) in
+  if trips <= 0 then fail "loop over %s has a non-positive trip count" fl.Ast.fl_var;
+  let pipeline = List.exists (pragma_is "pipeline") fl.Ast.fl_pragmas in
+  let unroll = List.exists (pragma_is "unroll") fl.Ast.fl_pragmas in
+  let factor =
+    List.find_map pragma_factor fl.Ast.fl_pragmas
+    |> Option.value ~default:trips
+  in
+  if pipeline && not unroll then begin
+    (* the pipelined loop: one body instance, a dynamic iteration index *)
+    ctx.trip_count <- max ctx.trip_count trips;
+    let saved = Hashtbl.find_opt ctx.env fl.Ast.fl_var in
+    Hashtbl.replace ctx.env fl.Ast.fl_var
+      (Scalar (Dag.input ctx.dag ~name:fl.Ast.fl_var ~dtype:(Dtype.Int 32)));
+    List.iter (exec ctx) fl.Ast.fl_body;
+    (match saved with
+    | Some b -> Hashtbl.replace ctx.env fl.Ast.fl_var b
+    | None -> Hashtbl.remove ctx.env fl.Ast.fl_var)
+  end
+  else begin
+    (* unrolled (explicitly, or implicitly inside a pipelined region) *)
+    if (not unroll) && trips > 1024 then
+      fail "loop over %s must be unrolled or pipelined" fl.Ast.fl_var;
+    let n = min trips factor in
+    if n <> trips then
+      fail "partial unrolling (factor %d of %d trips) is not supported" n trips;
+    let saved = Hashtbl.find_opt ctx.env fl.Ast.fl_var in
+    for j = 0 to trips - 1 do
+      Hashtbl.replace ctx.env fl.Ast.fl_var
+        (Const_int (Int64.add fl.Ast.fl_lo (Int64.of_int j)));
+      List.iter (exec ctx) fl.Ast.fl_body
+    done;
+    match saved with
+    | Some b -> Hashtbl.replace ctx.env fl.Ast.fl_var b
+    | None -> Hashtbl.remove ctx.env fl.Ast.fl_var
+  end
+
+(* ---- entry points ---- *)
+
+let bind_params ?(stream_names = fun s -> s) ctx params =
+  List.iter
+    (fun p ->
+      match p with
+      | Ast.P_stream (ty, name) ->
+        (* the fifo carries the caller-visible channel name; the body still
+           refers to the formal *)
+        let f =
+          Dag.add_fifo ctx.dag ~name:(stream_names name)
+            ~dtype:(dtype_of_ctype ty) ~depth:16
+        in
+        Hashtbl.replace ctx.env name (Stream f)
+      | Ast.P_scalar (ty, name) ->
+        Hashtbl.replace ctx.env name
+          (Scalar (Dag.input ctx.dag ~name ~dtype:(dtype_of_ctype ty)))
+      | Ast.P_array (ty, name, size) ->
+        if size >= buffer_threshold then begin
+          let b =
+            Dag.add_buffer ctx.dag ~name ~dtype:(dtype_of_ctype ty) ~depth:size
+              ~partition:1
+          in
+          Hashtbl.replace ctx.env name (Buffer b)
+        end
+        else Hashtbl.replace ctx.env name (Param_array ty))
+    params
+
+let kernel_of_func_named ?stream_names ~name _program (f : Ast.func) =
+  let ctx =
+    {
+      dag = Dag.create ();
+      env = Hashtbl.create 32;
+      lazy_inputs = Hashtbl.create 32;
+      trip_count = 1;
+      in_branch = false;
+    }
+  in
+  bind_params ?stream_names ctx f.Ast.f_params;
+  ignore name;
+  List.iter (exec ctx) f.Ast.f_body;
+  (try Kernel.create ~name ~trip_count:ctx.trip_count ctx.dag
+   with Invalid_argument msg -> fail "invalid kernel %s: %s" name msg)
+
+let kernel_of_func program (f : Ast.func) =
+  kernel_of_func_named ~name:f.Ast.f_name program f
+
+let dataflow_of_func program (f : Ast.func) =
+  let has_dataflow =
+    List.exists
+      (function Ast.Pragma_stmt p -> pragma_is "dataflow" p | _ -> false)
+      f.Ast.f_body
+  in
+  if not has_dataflow then
+    fail "%s is not a #pragma HLS dataflow region" f.Ast.f_name;
+  let df = Dataflow.create () in
+  (* stream endpoints discovered while walking the calls *)
+  let writers = Hashtbl.create 8 and readers = Hashtbl.create 8 in
+  let stream_types = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.Stream_decl (ty, name) -> Hashtbl.replace stream_types name ty
+      | _ -> ())
+    f.Ast.f_body;
+  List.iter
+    (fun p ->
+      match p with
+      | Ast.P_stream (ty, name) -> Hashtbl.replace stream_types name ty
+      | Ast.P_scalar _ | Ast.P_array _ -> ())
+    f.Ast.f_params;
+  let procs = ref [] in
+  let call_idx = ref 0 in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Pragma_stmt _ | Ast.Stream_decl _ -> ()
+      | Ast.Expr_stmt (Ast.Call (callee, args)) -> (
+        match List.find_opt (fun g -> g.Ast.f_name = callee) program with
+        | None -> fail "call to undefined kernel %s" callee
+        | Some g ->
+          incr call_idx;
+          (* elaborate the callee with its stream params renamed to the
+             caller's channel names, so netlist wiring matches by name *)
+          let renames =
+            List.map2
+              (fun p a ->
+                match (p, a) with
+                | Ast.P_stream (_, formal), Ast.Var actual -> (formal, actual)
+                | Ast.P_stream _, _ ->
+                  fail "stream argument of %s must be a stream name" callee
+                | (Ast.P_scalar (_, formal) | Ast.P_array (_, formal, _)), _ ->
+                  (formal, formal))
+              g.Ast.f_params args
+          in
+          let inst_name = Printf.sprintf "%s_%d" g.Ast.f_name !call_idx in
+          let stream_names formal =
+            Option.value ~default:formal (List.assoc_opt formal renames)
+          in
+          let kernel =
+            kernel_of_func_named ~stream_names ~name:inst_name program g
+          in
+          let proc = Dataflow.add_process df ~name:inst_name ~kernel () in
+          procs := proc :: !procs;
+          (* record channel directions from the kernel's fifo usage *)
+          let dag = kernel.Kernel.dag in
+          Dag.iter dag (fun v ->
+            match Dag.kind dag v with
+            | Dag.Fifo_read fifo ->
+              Hashtbl.replace readers (Dag.fifo dag fifo).Dag.f_name proc
+            | Dag.Fifo_write fifo ->
+              Hashtbl.replace writers (Dag.fifo dag fifo).Dag.f_name proc
+            | _ -> ()))
+      | _ ->
+        fail "a dataflow region may contain only stream declarations and kernel calls")
+    f.Ast.f_body;
+  (* channels: every stream name seen anywhere *)
+  let names = Hashtbl.create 8 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) writers;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) readers;
+  let sorted = Hashtbl.fold (fun k () acc -> k :: acc) names [] |> List.sort compare in
+  List.iter
+    (fun name ->
+      let src = Option.value ~default:(-1) (Hashtbl.find_opt writers name) in
+      let dst = Option.value ~default:(-1) (Hashtbl.find_opt readers name) in
+      let ty =
+        Option.value ~default:(Ast.C_int (32, true))
+          (Hashtbl.find_opt stream_types name)
+      in
+      ignore
+        (Dataflow.add_channel df ~name ~src ~dst ~dtype:(dtype_of_ctype ty)
+           ~depth:16 ()))
+    sorted;
+  (* the front end synchronizes everything in the region: one sync group *)
+  (match !procs with
+  | [] | [ _ ] -> ()
+  | ps -> Dataflow.add_sync_group df (List.sort compare ps));
+  df

@@ -1,0 +1,25 @@
+(** Elaboration: the parsed C subset becomes the IR the rest of the flow
+    consumes. A kernel function becomes a {!Hlsb_ir.Kernel.t} (its
+    pipelined loop body as an operation DAG, unrolled loops replicated,
+    arrays mapped to register files or BRAM buffers); a
+    [#pragma HLS dataflow] function becomes a {!Hlsb_ir.Dataflow.t} whose
+    processes are the called kernels, glued into one sync group exactly as
+    the front end the paper studies does (§3.2). *)
+
+exception Error of string
+
+val kernel_of_func : Ast.program -> Ast.func -> Hlsb_ir.Kernel.t
+(** Elaborate one kernel function. The program is supplied for context
+    (future inlining); only [func] is elaborated. Raises {!Error} on
+    unsupported constructs with a message naming the construct. *)
+
+val dataflow_of_func : Ast.program -> Ast.func -> Hlsb_ir.Dataflow.t
+(** Elaborate a [#pragma HLS dataflow] region: its body must consist of
+    stream declarations and calls to kernel functions defined in the same
+    program. Channels are matched by stream-argument name; all called
+    processes land in one sync group (the paper's over-synchronization,
+    which {!Hlsb_ctrl.Sync.split_independent} then prunes). *)
+
+val buffer_threshold : int
+(** Array size (elements) at or above which a local array maps to BRAM
+    rather than a register file. *)

@@ -1,0 +1,175 @@
+exception Error of string * int
+
+let keywords =
+  [
+    ("void", Token.Kw_void);
+    ("int", Token.Kw_int);
+    ("short", Token.Kw_short);
+    ("char", Token.Kw_char);
+    ("long", Token.Kw_long);
+    ("float", Token.Kw_float);
+    ("double", Token.Kw_double);
+    ("unsigned", Token.Kw_unsigned);
+    ("bool", Token.Kw_bool);
+    ("for", Token.Kw_for);
+    ("if", Token.Kw_if);
+    ("else", Token.Kw_else);
+    ("return", Token.Kw_return);
+    ("stream", Token.Kw_stream);
+    ("const", Token.Kw_const);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let out = ref [] in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let advance () =
+    (match cur () with Some '\n' -> incr line | _ -> ());
+    incr pos
+  in
+  let emit tok = out := { Token.tok; line = !line } :: !out in
+  let read_while pred =
+    let start = !pos in
+    while (match cur () with Some c -> pred c | None -> false) do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let rec skip_block_comment start_line =
+    match (cur (), peek 1) with
+    | Some '*', Some '/' ->
+      advance ();
+      advance ()
+    | Some _, _ ->
+      advance ();
+      skip_block_comment start_line
+    | None, _ -> raise (Error ("unterminated /* comment", start_line))
+  in
+  while !pos < n do
+    match cur () with
+    | None -> ()
+    | Some c -> (
+      match c with
+      | ' ' | '\t' | '\r' | '\n' -> advance ()
+      | '/' when peek 1 = Some '/' ->
+        while cur () <> None && cur () <> Some '\n' do
+          advance ()
+        done
+      | '/' when peek 1 = Some '*' ->
+        let l = !line in
+        advance ();
+        advance ();
+        skip_block_comment l
+      | '#' ->
+        (* a preprocessor line; we understand #pragma and #define-free code *)
+        let start = !pos in
+        while cur () <> None && cur () <> Some '\n' do
+          advance ()
+        done;
+        let text = String.sub src start (!pos - start) in
+        let text = String.trim text in
+        let body =
+          if String.length text > 7 && String.sub text 0 7 = "#pragma" then
+            String.trim (String.sub text 7 (String.length text - 7))
+          else raise (Error ("unsupported preprocessor line: " ^ text, !line))
+        in
+        emit (Token.Pragma body)
+      | c when is_ident_start c ->
+        let word = read_while is_ident_char in
+        (match List.assoc_opt word keywords with
+        | Some kw -> emit kw
+        | None -> emit (Token.Ident word))
+      | c when is_digit c ->
+        let start_line = !line in
+        if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+          advance ();
+          advance ();
+          let hex = read_while (fun c -> is_digit c
+            || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) in
+          if hex = "" then raise (Error ("bad hex literal", start_line));
+          emit (Token.Int_lit (Int64.of_string ("0x" ^ hex)))
+        end
+        else begin
+          let whole = read_while is_digit in
+          if cur () = Some '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+          then begin
+            advance ();
+            let frac = read_while is_digit in
+            let tail =
+              if cur () = Some 'f' || cur () = Some 'F' then begin
+                advance ();
+                ""
+              end
+              else ""
+            in
+            ignore tail;
+            emit (Token.Float_lit (float_of_string (whole ^ "." ^ frac)))
+          end
+          else if cur () = Some 'f' || cur () = Some 'F' then begin
+            advance ();
+            emit (Token.Float_lit (float_of_string whole))
+          end
+          else emit (Token.Int_lit (Int64.of_string whole))
+        end
+      | '(' -> advance (); emit Token.Lparen
+      | ')' -> advance (); emit Token.Rparen
+      | '{' -> advance (); emit Token.Lbrace
+      | '}' -> advance (); emit Token.Rbrace
+      | '[' -> advance (); emit Token.Lbracket
+      | ']' -> advance (); emit Token.Rbracket
+      | ';' -> advance (); emit Token.Semi
+      | ',' -> advance (); emit Token.Comma
+      | '.' -> advance (); emit Token.Dot
+      | '?' -> advance (); emit Token.Question
+      | ':' -> advance (); emit Token.Colon
+      | '~' -> advance (); emit Token.Tilde
+      | '^' -> advance (); emit Token.Caret
+      | '%' -> advance (); emit Token.Percent
+      | '*' -> advance (); emit Token.Star
+      | '/' -> advance (); emit Token.Slash
+      | '+' ->
+        advance ();
+        if cur () = Some '+' then begin advance (); emit Token.Plus_plus end
+        else if cur () = Some '=' then begin advance (); emit Token.Plus_assign end
+        else emit Token.Plus
+      | '-' ->
+        advance ();
+        if cur () = Some '>' then raise (Error ("-> is not supported", !line))
+        else emit Token.Minus
+      | '&' ->
+        advance ();
+        if cur () = Some '&' then begin advance (); emit Token.And_and end
+        else emit Token.Amp
+      | '|' ->
+        advance ();
+        if cur () = Some '|' then begin advance (); emit Token.Or_or end
+        else emit Token.Pipe
+      | '<' ->
+        advance ();
+        if cur () = Some '<' then begin advance (); emit Token.Shl end
+        else if cur () = Some '=' then begin advance (); emit Token.Le end
+        else emit Token.Lt
+      | '>' ->
+        advance ();
+        if cur () = Some '>' then begin advance (); emit Token.Shr end
+        else if cur () = Some '=' then begin advance (); emit Token.Ge end
+        else emit Token.Gt
+      | '=' ->
+        advance ();
+        if cur () = Some '=' then begin advance (); emit Token.Eq end
+        else emit Token.Assign
+      | '!' ->
+        advance ();
+        if cur () = Some '=' then begin advance (); emit Token.Ne end
+        else emit Token.Bang
+      | c -> raise (Error (Printf.sprintf "illegal character %C" c, !line)))
+  done;
+  emit Token.Eof;
+  List.rev !out

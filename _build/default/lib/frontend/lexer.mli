@@ -1,0 +1,9 @@
+(** Hand-written lexer for the C subset. Handles `//` and `/* */` comments,
+    decimal/hex integer literals, float literals, and `#pragma` lines
+    (delivered as one token). *)
+
+exception Error of string * int  (** message, line *)
+
+val tokenize : string -> Token.located list
+(** Ends with an [Eof] token. Raises {!Error} on an illegal character or an
+    unterminated comment. *)

@@ -1,0 +1,430 @@
+exception Error of string * int
+
+type state = {
+  mutable toks : Token.located list;
+}
+
+let peek st =
+  match st.toks with
+  | [] -> Token.Eof
+  | t :: _ -> t.Token.tok
+
+let line st =
+  match st.toks with
+  | [] -> 0
+  | t :: _ -> t.Token.line
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let fail st msg = raise (Error (msg, line st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | t -> fail st ("expected an identifier, found " ^ Token.to_string t)
+
+let expect_int st =
+  match peek st with
+  | Token.Int_lit v ->
+    advance st;
+    v
+  | t -> fail st ("expected an integer literal, found " ^ Token.to_string t)
+
+(* ---- types ---- *)
+
+let rec parse_ctype st =
+  match peek st with
+  | Token.Kw_const ->
+    advance st;
+    parse_ctype st
+  | Token.Kw_unsigned ->
+    advance st;
+    (match peek st with
+    | Token.Kw_int -> advance st; Ast.C_int (32, false)
+    | Token.Kw_short -> advance st; Ast.C_int (16, false)
+    | Token.Kw_char -> advance st; Ast.C_int (8, false)
+    | Token.Kw_long -> advance st; Ast.C_int (64, false)
+    | _ -> Ast.C_int (32, false))
+  | Token.Kw_int -> advance st; Ast.C_int (32, true)
+  | Token.Kw_short -> advance st; Ast.C_int (16, true)
+  | Token.Kw_char -> advance st; Ast.C_int (8, true)
+  | Token.Kw_long -> advance st; Ast.C_int (64, true)
+  | Token.Kw_float -> advance st; Ast.C_float
+  | Token.Kw_bool -> advance st; Ast.C_bool
+  | Token.Kw_double -> advance st; Ast.C_double
+  | Token.Ident alias
+    when alias = "data_t" || alias = "int32_t" || alias = "ap_int" ->
+    advance st;
+    Ast.C_int (32, true)
+  | Token.Ident "int16_t" -> advance st; Ast.C_int (16, true)
+  | Token.Ident "int8_t" -> advance st; Ast.C_int (8, true)
+  | Token.Ident "uint64_t" -> advance st; Ast.C_int (64, false)
+  | Token.Ident "uint32_t" -> advance st; Ast.C_int (32, false)
+  | t -> fail st ("expected a type, found " ^ Token.to_string t)
+
+let is_type_start = function
+  | Token.Kw_int | Token.Kw_short | Token.Kw_char | Token.Kw_long
+  | Token.Kw_float | Token.Kw_double | Token.Kw_unsigned | Token.Kw_bool
+  | Token.Kw_const ->
+    true
+  | Token.Ident ("data_t" | "int32_t" | "int16_t" | "int8_t" | "uint64_t"
+                | "uint32_t" | "ap_int") ->
+    true
+  | _ -> false
+
+(* ---- expressions (precedence climbing) ---- *)
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_lor st in
+  if peek st = Token.Question then begin
+    advance st;
+    let t = parse_expr st in
+    expect st Token.Colon;
+    let e = parse_ternary st in
+    Ast.Ternary (c, t, e)
+  end
+  else c
+
+and binop_level ops next st =
+  let rec loop lhs =
+    match List.assoc_opt (peek st) ops with
+    | Some op ->
+      advance st;
+      let rhs = next st in
+      loop (Ast.Binop (op, lhs, rhs))
+    | None -> lhs
+  in
+  loop (next st)
+
+and parse_lor st = binop_level [ (Token.Or_or, Ast.B_lor) ] parse_land st
+and parse_land st = binop_level [ (Token.And_and, Ast.B_land) ] parse_bor st
+and parse_bor st = binop_level [ (Token.Pipe, Ast.B_or) ] parse_bxor st
+and parse_bxor st = binop_level [ (Token.Caret, Ast.B_xor) ] parse_band st
+and parse_band st = binop_level [ (Token.Amp, Ast.B_and) ] parse_equality st
+
+and parse_equality st =
+  binop_level [ (Token.Eq, Ast.B_eq); (Token.Ne, Ast.B_ne) ] parse_relational st
+
+and parse_relational st =
+  binop_level
+    [
+      (Token.Lt, Ast.B_lt);
+      (Token.Le, Ast.B_le);
+      (Token.Gt, Ast.B_gt);
+      (Token.Ge, Ast.B_ge);
+    ]
+    parse_shift st
+
+and parse_shift st =
+  binop_level [ (Token.Shl, Ast.B_shl); (Token.Shr, Ast.B_shr) ] parse_additive st
+
+and parse_additive st =
+  binop_level [ (Token.Plus, Ast.B_add); (Token.Minus, Ast.B_sub) ] parse_multiplicative st
+
+and parse_multiplicative st =
+  binop_level
+    [ (Token.Star, Ast.B_mul); (Token.Slash, Ast.B_div); (Token.Percent, Ast.B_mod) ]
+    parse_unary st
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus ->
+    advance st;
+    Ast.Unop (Ast.U_neg, parse_unary st)
+  | Token.Bang ->
+    advance st;
+    Ast.Unop (Ast.U_lnot, parse_unary st)
+  | Token.Tilde ->
+    advance st;
+    Ast.Unop (Ast.U_bnot, parse_unary st)
+  | Token.Amp ->
+    advance st;
+    Ast.Unop (Ast.U_addr, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    match peek st with
+    | Token.Lbracket ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.Rbracket;
+      loop (Ast.Index (e, idx))
+    | Token.Dot -> (
+      advance st;
+      let field = expect_ident st in
+      if peek st = Token.Lparen then begin
+        (* method call: only on plain identifiers (stream objects) *)
+        match e with
+        | Ast.Var obj ->
+          advance st;
+          let args = parse_args st in
+          loop (Ast.Method (obj, field, args))
+        | _ -> fail st "method call on a non-identifier"
+      end
+      else loop (Ast.Field (e, field)))
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  if peek st = Token.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      match peek st with
+      | Token.Comma ->
+        advance st;
+        go (e :: acc)
+      | Token.Rparen ->
+        advance st;
+        List.rev (e :: acc)
+      | t -> fail st ("expected , or ) in arguments, found " ^ Token.to_string t)
+    in
+    go []
+  end
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit v ->
+    advance st;
+    Ast.Int_const v
+  | Token.Float_lit v ->
+    advance st;
+    Ast.Float_const v
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.Rparen;
+    e
+  | Token.Ident name ->
+    advance st;
+    if peek st = Token.Lparen then begin
+      advance st;
+      let args = parse_args st in
+      Ast.Call (name, args)
+    end
+    else Ast.Var name
+  | t -> fail st ("expected an expression, found " ^ Token.to_string t)
+
+(* ---- statements ---- *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.Pragma p ->
+    advance st;
+    Ast.Pragma_stmt p
+  | Token.Kw_return ->
+    advance st;
+    if peek st = Token.Semi then begin
+      advance st;
+      Ast.Return None
+    end
+    else begin
+      let e = parse_expr st in
+      expect st Token.Semi;
+      Ast.Return (Some e)
+    end
+  | Token.Kw_for -> parse_for st
+  | Token.Kw_if -> parse_if st
+  | Token.Kw_stream -> (
+    (* stream<int> name; *)
+    advance st;
+    expect st Token.Lt;
+    let ty = parse_ctype st in
+    expect st Token.Gt;
+    let name = expect_ident st in
+    expect st Token.Semi;
+    Ast.Stream_decl (ty, name))
+  | t when is_type_start t ->
+    let ty = parse_ctype st in
+    let name = expect_ident st in
+    let size =
+      if peek st = Token.Lbracket then begin
+        advance st;
+        let v = expect_int st in
+        expect st Token.Rbracket;
+        Some (Int64.to_int v)
+      end
+      else None
+    in
+    let init =
+      if peek st = Token.Assign then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st Token.Semi;
+    Ast.Decl (ty, name, size, init)
+  | _ ->
+    (* assignment or expression statement *)
+    let lhs = parse_expr st in
+    (match peek st with
+    | Token.Assign ->
+      advance st;
+      let rhs = parse_expr st in
+      expect st Token.Semi;
+      Ast.Assign (lhs, rhs)
+    | Token.Plus_assign ->
+      advance st;
+      let rhs = parse_expr st in
+      expect st Token.Semi;
+      Ast.Plus_assign (lhs, rhs)
+    | Token.Semi ->
+      advance st;
+      Ast.Expr_stmt lhs
+    | t -> fail st ("expected = or ; after expression, found " ^ Token.to_string t))
+
+and parse_block st =
+  expect st Token.Lbrace;
+  let rec go acc =
+    if peek st = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt_or_block st =
+  if peek st = Token.Lbrace then parse_block st else [ parse_stmt st ]
+
+and parse_if st =
+  expect st Token.Kw_if;
+  expect st Token.Lparen;
+  let cond = parse_expr st in
+  expect st Token.Rparen;
+  let then_ = parse_stmt_or_block st in
+  let else_ =
+    if peek st = Token.Kw_else then begin
+      advance st;
+      parse_stmt_or_block st
+    end
+    else []
+  in
+  Ast.If (cond, then_, else_)
+
+and parse_for st =
+  expect st Token.Kw_for;
+  expect st Token.Lparen;
+  (match peek st with
+  | Token.Kw_int -> advance st
+  | t -> fail st ("loop variable must be declared int, found " ^ Token.to_string t));
+  let var = expect_ident st in
+  expect st Token.Assign;
+  let lo = expect_int st in
+  expect st Token.Semi;
+  let var2 = expect_ident st in
+  if var2 <> var then fail st "loop condition must test the loop variable";
+  expect st Token.Lt;
+  let hi = expect_int st in
+  expect st Token.Semi;
+  let var3 = expect_ident st in
+  if var3 <> var then fail st "loop increment must update the loop variable";
+  (match peek st with
+  | Token.Plus_plus -> advance st
+  | Token.Plus_assign ->
+    advance st;
+    let step = expect_int st in
+    if step <> 1L then fail st "only unit loop steps are supported"
+  | t -> fail st ("expected ++ in loop header, found " ^ Token.to_string t));
+  expect st Token.Rparen;
+  let raw_body = parse_block st in
+  (* pragmas written as the first statements of the body attach to the
+     loop, per the HLS convention *)
+  let rec split_pragmas acc = function
+    | Ast.Pragma_stmt p :: rest -> split_pragmas (p :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let pragmas, body = split_pragmas [] raw_body in
+  Ast.For
+    { fl_var = var; fl_lo = lo; fl_hi = hi; fl_pragmas = pragmas; fl_body = body }
+
+(* ---- functions / program ---- *)
+
+let parse_param st =
+  if peek st = Token.Kw_stream then begin
+    advance st;
+    expect st Token.Lt;
+    let ty = parse_ctype st in
+    expect st Token.Gt;
+    (* accept `stream<int> &name` like hls::stream references *)
+    if peek st = Token.Amp then advance st;
+    let name = expect_ident st in
+    Ast.P_stream (ty, name)
+  end
+  else begin
+    let ty = parse_ctype st in
+    let name = expect_ident st in
+    if peek st = Token.Lbracket then begin
+      advance st;
+      let v = expect_int st in
+      expect st Token.Rbracket;
+      Ast.P_array (ty, name, Int64.to_int v)
+    end
+    else Ast.P_scalar (ty, name)
+  end
+
+let parse_func st =
+  let ret =
+    if peek st = Token.Kw_void then begin
+      advance st;
+      None
+    end
+    else Some (parse_ctype st)
+  in
+  let name = expect_ident st in
+  expect st Token.Lparen;
+  let params =
+    if peek st = Token.Rparen then begin
+      advance st;
+      []
+    end
+    else begin
+      let rec go acc =
+        let p = parse_param st in
+        match peek st with
+        | Token.Comma ->
+          advance st;
+          go (p :: acc)
+        | Token.Rparen ->
+          advance st;
+          List.rev (p :: acc)
+        | t -> fail st ("expected , or ) in parameters, found " ^ Token.to_string t)
+      in
+      go []
+    end
+  in
+  let body = parse_block st in
+  { Ast.f_name = name; f_ret = ret; f_params = params; f_body = body }
+
+let program toks =
+  let st = { toks } in
+  let rec go acc =
+    if peek st = Token.Eof then List.rev acc else go (parse_func st :: acc)
+  in
+  go []
+
+let expr_of_tokens toks =
+  let st = { toks } in
+  let e = parse_expr st in
+  if peek st <> Token.Eof then fail st "trailing tokens after expression";
+  e

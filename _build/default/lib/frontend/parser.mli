@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the C subset (see {!Frontend} for the
+    grammar). *)
+
+exception Error of string * int  (** message, line *)
+
+val program : Token.located list -> Ast.program
+val expr_of_tokens : Token.located list -> Ast.expr
+(** Parse a standalone expression (testing convenience). *)

@@ -1,0 +1,116 @@
+type t =
+  | Ident of string
+  | Int_lit of int64
+  | Float_lit of float
+  | Pragma of string
+  | Kw_void
+  | Kw_int
+  | Kw_short
+  | Kw_char
+  | Kw_long
+  | Kw_float
+  | Kw_double
+  | Kw_unsigned
+  | Kw_bool
+  | Kw_for
+  | Kw_if
+  | Kw_else
+  | Kw_return
+  | Kw_stream
+  | Kw_const
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Question
+  | Colon
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And_and
+  | Or_or
+  | Plus_plus
+  | Plus_assign
+  | Eof
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit v -> Printf.sprintf "integer %Ld" v
+  | Float_lit v -> Printf.sprintf "float %g" v
+  | Pragma s -> Printf.sprintf "#pragma %s" s
+  | Kw_void -> "void"
+  | Kw_int -> "int"
+  | Kw_short -> "short"
+  | Kw_char -> "char"
+  | Kw_long -> "long"
+  | Kw_float -> "float"
+  | Kw_double -> "double"
+  | Kw_unsigned -> "unsigned"
+  | Kw_bool -> "bool"
+  | Kw_for -> "for"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_return -> "return"
+  | Kw_stream -> "stream"
+  | Kw_const -> "const"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Question -> "?"
+  | Colon -> ":"
+  | Assign -> "="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And_and -> "&&"
+  | Or_or -> "||"
+  | Plus_plus -> "++"
+  | Plus_assign -> "+="
+  | Eof -> "end of input"
+
+type located = {
+  tok : t;
+  line : int;
+}

@@ -1,0 +1,66 @@
+(** Tokens of the C-subset front end (see {!Frontend} for the accepted
+    language). Pragmas arrive as single tokens carrying their text, exactly
+    as a real HLS front end treats `#pragma HLS ...` lines. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int64
+  | Float_lit of float
+  | Pragma of string  (** text after "#pragma", whitespace-normalized *)
+  | Kw_void
+  | Kw_int
+  | Kw_short
+  | Kw_char
+  | Kw_long
+  | Kw_float
+  | Kw_double
+  | Kw_unsigned
+  | Kw_bool
+  | Kw_for
+  | Kw_if
+  | Kw_else
+  | Kw_return
+  | Kw_stream
+  | Kw_const
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Question
+  | Colon
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And_and
+  | Or_or
+  | Plus_plus
+  | Plus_assign
+  | Eof
+
+val to_string : t -> string
+
+type located = {
+  tok : t;
+  line : int;
+}

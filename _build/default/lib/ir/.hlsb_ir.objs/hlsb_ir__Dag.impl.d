@@ -1,0 +1,1 @@
+lib/ir/dag.ml: Array Dtype Format Hashtbl Hlsb_util Int64 List Op Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/dag.mli: Dtype Format Op

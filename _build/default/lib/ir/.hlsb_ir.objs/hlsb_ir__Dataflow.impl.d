@@ -1,0 +1,1 @@
+lib/ir/dataflow.ml: Array Dtype Hashtbl Hlsb_util Kernel List Printf String

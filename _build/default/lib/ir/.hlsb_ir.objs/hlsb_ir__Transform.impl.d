@@ -1,0 +1,1 @@
+lib/ir/transform.ml: Array Dag Printf

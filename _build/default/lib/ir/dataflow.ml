@@ -1,0 +1,90 @@
+module Vec = Hlsb_util.Vec
+module Intgraph = Hlsb_util.Intgraph
+
+type process = {
+  p_name : string;
+  p_latency : int option;
+  p_kernel : Kernel.t option;
+}
+
+type channel = {
+  c_name : string;
+  c_src : int;
+  c_dst : int;
+  c_dtype : Dtype.t;
+  c_depth : int;
+}
+
+type t = {
+  procs : process Vec.t;
+  chans : channel Vec.t;
+  mutable groups : int list list; (* reversed *)
+}
+
+let create () = { procs = Vec.create (); chans = Vec.create (); groups = [] }
+
+let add_process t ~name ?latency ?kernel () =
+  Vec.push t.procs { p_name = name; p_latency = latency; p_kernel = kernel }
+
+let check_endpoint t p what =
+  if p < -1 || p >= Vec.length t.procs then
+    invalid_arg ("Dataflow.add_channel: bad " ^ what)
+
+let add_channel t ~name ~src ~dst ~dtype ?(depth = 2) () =
+  Dtype.validate dtype;
+  check_endpoint t src "src";
+  check_endpoint t dst "dst";
+  if depth < 1 then invalid_arg "Dataflow.add_channel: depth < 1";
+  Vec.push t.chans
+    { c_name = name; c_src = src; c_dst = dst; c_dtype = dtype; c_depth = depth }
+
+let add_sync_group t members =
+  let n = Vec.length t.procs in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then invalid_arg "Dataflow.add_sync_group: bad member";
+      if Hashtbl.mem seen p then
+        invalid_arg "Dataflow.add_sync_group: duplicate member";
+      Hashtbl.add seen p ())
+    members;
+  t.groups <- members :: t.groups
+
+let n_processes t = Vec.length t.procs
+let n_channels t = Vec.length t.chans
+let process t p = Vec.get t.procs p
+let channel t c = Vec.get t.chans c
+let processes t = Vec.to_array t.procs
+let channels t = Vec.to_array t.chans
+let sync_groups t = List.rev t.groups
+
+let connectivity_components t =
+  let g = Intgraph.create (Vec.length t.procs) in
+  Vec.iteri
+    (fun _ c ->
+      if c.c_src >= 0 && c.c_dst >= 0 then Intgraph.add_edge g c.c_src c.c_dst)
+    t.chans;
+  Intgraph.connected_components g
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  Vec.iteri
+    (fun i c ->
+      if c.c_src = -1 && c.c_dst = -1 then
+        err "channel %d (%s): dangling at both ends" i c.c_name)
+    t.chans;
+  (* every process should touch at least one channel *)
+  let touched = Array.make (Vec.length t.procs) false in
+  Vec.iteri
+    (fun _ c ->
+      if c.c_src >= 0 then touched.(c.c_src) <- true;
+      if c.c_dst >= 0 then touched.(c.c_dst) <- true)
+    t.chans;
+  Array.iteri
+    (fun p ok ->
+      if not ok then err "process %d (%s): no channels" p (Vec.get t.procs p).p_name)
+    touched;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))

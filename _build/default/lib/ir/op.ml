@@ -1,0 +1,88 @@
+type cmp =
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | And_
+  | Or_
+  | Xor
+  | Not
+  | Shl
+  | Shr
+  | Icmp of cmp
+  | Fcmp of cmp
+  | Select
+  | Min
+  | Max
+  | Abs
+  | Log2
+  | Concat
+  | Slice of int * int
+
+let arity = function
+  | Not | Abs | Log2 | Slice _ -> 1
+  | Add | Sub | Mul | Div | Fadd | Fsub | Fmul | Fdiv | And_ | Or_ | Xor | Shl
+  | Shr | Icmp _ | Fcmp _ | Min | Max ->
+    2
+  | Select -> 3
+  | Concat -> -1
+
+let is_float = function
+  | Fadd | Fsub | Fmul | Fdiv | Fcmp _ -> true
+  | Add | Sub | Mul | Div | And_ | Or_ | Xor | Not | Shl | Shr | Icmp _
+  | Select | Min | Max | Abs | Log2 | Concat | Slice _ ->
+    false
+
+let result_is_bool = function
+  | Icmp _ | Fcmp _ -> true
+  | Add | Sub | Mul | Div | Fadd | Fsub | Fmul | Fdiv | And_ | Or_ | Xor | Not
+  | Shl | Shr | Select | Min | Max | Abs | Log2 | Concat | Slice _ ->
+    false
+
+let cmp_to_string = function
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | And_ -> "and"
+  | Or_ -> "or"
+  | Xor -> "xor"
+  | Not -> "not"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Icmp c -> "icmp_" ^ cmp_to_string c
+  | Fcmp c -> "fcmp_" ^ cmp_to_string c
+  | Select -> "select"
+  | Min -> "min"
+  | Max -> "max"
+  | Abs -> "abs"
+  | Log2 -> "log2"
+  | Concat -> "concat"
+  | Slice (hi, lo) -> Printf.sprintf "slice[%d:%d]" hi lo
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b

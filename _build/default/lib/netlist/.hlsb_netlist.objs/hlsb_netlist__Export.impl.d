@@ -1,0 +1,1 @@
+lib/netlist/export.ml: Array Buffer Fun List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/macro.ml: Hlsb_device Netlist

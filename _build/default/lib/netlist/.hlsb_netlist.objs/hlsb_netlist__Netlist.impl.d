@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Hlsb_device Hlsb_util List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/structs.ml: Array Hlsb_device List Macro Netlist Printf

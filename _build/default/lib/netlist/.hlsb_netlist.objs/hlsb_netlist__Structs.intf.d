@@ -1,0 +1,1 @@
+lib/netlist/structs.mli: Hlsb_device Netlist

@@ -1,0 +1,1 @@
+lib/physical/placement.ml: Array Hlsb_device Hlsb_netlist List Printf Stdlib

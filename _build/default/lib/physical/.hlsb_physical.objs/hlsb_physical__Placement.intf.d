@@ -1,0 +1,1 @@
+lib/physical/placement.mli: Hlsb_device Hlsb_netlist

@@ -1,0 +1,1 @@
+lib/physical/timing.ml: Array Format Hashtbl Hlsb_device Hlsb_netlist Hlsb_util List Placement

@@ -1,0 +1,1 @@
+lib/physical/timing.mli: Format Hlsb_device Hlsb_netlist Placement

@@ -1,0 +1,52 @@
+(** Topology-driven placement onto the device slice grid.
+
+    Cells are visited in construction order (which the RTL generators emit
+    in dataflow order) and packed along a Hilbert space-filling curve over
+    the slice grid, so logically adjacent cells land physically adjacent —
+    the outcome a timing-driven placer converges to, without its cost.
+
+    A refinement pass then pulls light register cells to the midpoint of
+    their drivers and sinks (what a timing-driven placer and phys_opt do):
+    a chain of registers inserted across a long route settles at evenly
+    spaced waypoints, so pipelining a broadcast genuinely divides its wire
+    delay across cycles — the physical mechanism behind §4.1's register
+    insertion.
+
+    The property the timing model needs from placement is: a net whose
+    sinks occupy total slice area S has a bounding box of half-perimeter
+    Θ(√S) — large broadcasts spread over the die and pay wire delay that
+    grows with the square root of the broadcast factor (Fig. 9). *)
+
+type t
+
+val place : Hlsb_device.Device.t -> Hlsb_netlist.Netlist.t -> t
+(** Raises [Failure] if the design does not fit the device. *)
+
+val position : t -> int -> float * float
+(** Centroid of a placed cell in slice-grid units. *)
+
+val footprint_slices : t -> int -> int
+(** Slices occupied by a cell (1 minimum; BRAM/DSP cells report their site
+    count scaled to slice-equivalents for bbox purposes). *)
+
+val hpwl : t -> int -> float
+(** Half-perimeter wire length of a net's bounding box (driver + sinks), in
+    slice-grid units. Dangling nets have hpwl 0. *)
+
+val star_length : t -> int -> float
+(** Source-to-farthest-sink Manhattan distance plus the sink cells' spread
+    radius — the length of the longest branch of the routed net, which is
+    what its delay follows. For two-pin nets this equals the Manhattan
+    distance; for star-shaped nets it avoids the bounding-box
+    overestimate. *)
+
+val bbox : t -> int -> float * float * float * float
+(** (xmin, ymin, xmax, ymax) of a net. *)
+
+val overlap_free : t -> bool
+(** True if no two cells share a packing slot; holds by construction
+    (disjoint curve slots — refined registers are light enough to legalize
+    next to their ideal point), exposed for tests. *)
+
+val max_extent : t -> float
+(** Largest coordinate used; must be within the die (tests). *)

@@ -1,0 +1,184 @@
+module Device = Hlsb_device.Device
+module Netlist = Hlsb_netlist.Netlist
+module Rng = Hlsb_util.Rng
+
+type path_step = {
+  ps_cell : int;
+  ps_cell_name : string;
+  ps_arrival : float;
+  ps_via_net : int option;
+}
+
+type report = {
+  critical_ns : float;
+  fmax_mhz : float;
+  path : path_step list;
+  worst_net : int option;
+  worst_net_fanout : int;
+  worst_net_class : Netlist.net_class option;
+  arrivals : float array;
+}
+
+let jitter_factor ~jitter ~seed nid =
+  if jitter <= 0. then 1.
+  else begin
+    let rng = Rng.create ((seed * 1_000_003) + nid) in
+    let f = 1. +. Rng.gaussian rng ~mu:0. ~sigma:jitter in
+    max 0.5 f
+  end
+
+let net_delay (d : Device.t) nl pl ~jitter ~seed nid =
+  let f = Netlist.fanout nl nid in
+  if f = 0 then 0.
+  else begin
+    let base =
+      d.t_net_base
+      +. (d.t_net_fanout *. log (1. +. float_of_int f))
+      +. (d.t_net_dist *. Placement.star_length pl nid)
+    in
+    base *. jitter_factor ~jitter ~seed nid
+  end
+
+let default_seed nl = Hashtbl.hash (Netlist.name nl) land 0xFFFFFF
+
+let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
+  let seed = match seed with Some s -> s | None -> default_seed nl in
+  let n = Netlist.n_cells nl in
+  (* Per-cell fanin arcs: (pred_cell, net_id). *)
+  let fanin = Array.make n [] in
+  let ndelay = Array.make (Netlist.n_nets nl) 0. in
+  Netlist.iter_nets nl (fun nid net ->
+    ndelay.(nid) <- net_delay d nl pl ~jitter ~seed nid;
+    Array.iter
+      (fun s -> fanin.(s) <- (net.Netlist.n_driver, nid) :: fanin.(s))
+      net.Netlist.n_sinks);
+  (* Arrival at each cell's *output*. Sequential cells and input ports
+     launch at t_clk_q; combinational cells add their logic delay on top of
+     the worst input arrival. Evaluate in dependence order via DFS with
+     cycle detection. *)
+  let arrival = Array.make n nan in
+  let best_pred = Array.make n None in
+  let state = Array.make n 0 in
+  (* 0 unvisited / 1 in progress / 2 done *)
+  let rec output_arrival c =
+    if state.(c) = 2 then arrival.(c)
+    else if state.(c) = 1 then failwith "Timing: combinational cycle"
+    else begin
+      state.(c) <- 1;
+      let cell = Netlist.cell nl c in
+      let a =
+        match cell.Netlist.c_kind with
+        | Netlist.Seq | Netlist.Mem -> d.t_clk_q +. cell.Netlist.c_delay
+        | Netlist.Port_in -> 0.
+        | Netlist.Port_out | Netlist.Comb ->
+          let worst = ref 0. in
+          List.iter
+            (fun (p, nid) ->
+              let t = input_arrival p nid in
+              if t > !worst then begin
+                worst := t;
+                best_pred.(c) <- Some (p, nid)
+              end)
+            fanin.(c);
+          !worst +. cell.Netlist.c_delay
+      in
+      arrival.(c) <- a;
+      state.(c) <- 2;
+      a
+    end
+  and input_arrival pred nid = output_arrival pred +. ndelay.(nid) in
+  (* Path endpoints: arrival at the *inputs* of sequential cells and output
+     ports, plus setup. *)
+  let worst = ref 0. in
+  let worst_end = ref None in
+  (* I/O port paths are externally constrained (registered at the shell
+     boundary), so like a real STA setup they are not clock endpoints. *)
+  for c = 0 to n - 1 do
+    let cell = Netlist.cell nl c in
+    match cell.Netlist.c_kind with
+    | Netlist.Seq | Netlist.Mem ->
+      List.iter
+        (fun (p, nid) ->
+          let t = input_arrival p nid +. d.t_setup in
+          if t > !worst then begin
+            worst := t;
+            worst_end := Some (c, p, nid)
+          end)
+        fanin.(c)
+    | Netlist.Comb | Netlist.Port_in | Netlist.Port_out ->
+      (* still force evaluation so cycles are reported deterministically *)
+      ignore (output_arrival c)
+  done;
+  let critical = max !worst (d.t_clk_q +. d.t_setup) in
+  (* Reconstruct the critical path by walking best_pred back. *)
+  let path =
+    match !worst_end with
+    | None -> []
+    | Some (endpoint, pred, via) ->
+      let rec back c via acc =
+        let step =
+          {
+            ps_cell = c;
+            ps_cell_name = (Netlist.cell nl c).Netlist.c_name;
+            ps_arrival = arrival.(c);
+            ps_via_net = via;
+          }
+        in
+        match best_pred.(c) with
+        | Some (p, nid) -> back p (Some nid) (step :: acc)
+        | None -> step :: acc
+      in
+      let end_step =
+        {
+          ps_cell = endpoint;
+          ps_cell_name = (Netlist.cell nl endpoint).Netlist.c_name;
+          ps_arrival = input_arrival pred via;
+          ps_via_net = Some via;
+        }
+      in
+      back pred (Some via) [ end_step ]
+  in
+  (* Worst net along the path. *)
+  let worst_net, worst_fo, worst_cls =
+    List.fold_left
+      (fun (wn, wf, wc) step ->
+        match step.ps_via_net with
+        | None -> (wn, wf, wc)
+        | Some nid -> (
+          match wn with
+          | Some w when ndelay.(w) >= ndelay.(nid) -> (wn, wf, wc)
+          | _ ->
+            ( Some nid,
+              Netlist.fanout nl nid,
+              Some (Netlist.net nl nid).Netlist.n_class )))
+      (None, 0, None) path
+  in
+  {
+    critical_ns = critical;
+    fmax_mhz = 1000. /. critical;
+    path;
+    worst_net;
+    worst_net_fanout = worst_fo;
+    worst_net_class = worst_cls;
+    arrivals = arrival;
+  }
+
+let run ?jitter ?seed d nl =
+  let pl = Placement.place d nl in
+  analyze ?jitter ?seed d nl pl
+
+let pp_report fmt r =
+  Format.fprintf fmt "critical %.3f ns -> %.1f MHz (path %d cells" r.critical_ns
+    r.fmax_mhz (List.length r.path);
+  (match r.worst_net_class with
+  | Some c ->
+    let cls =
+      match c with
+      | Netlist.Data -> "data"
+      | Netlist.Data_broadcast -> "data-broadcast"
+      | Netlist.Ctrl_sync -> "ctrl-sync"
+      | Netlist.Ctrl_pipeline -> "ctrl-pipeline"
+    in
+    Format.fprintf fmt ", worst net fanout %d [%s]" r.worst_net_fanout cls
+  | None -> ());
+  Format.fprintf fmt ")"

@@ -1,0 +1,57 @@
+(** Static timing analysis over a placed netlist.
+
+    Arrival times propagate through the combinational subgraph; paths start
+    at sequential outputs (clk->q) and input ports, and end at sequential
+    inputs (setup); I/O port paths are externally constrained. Net delay is
+    [t_net_base + t_net_fanout * ln(1+f) + t_net_dist * star_length]
+    (source-to-farthest-sink plus sink spread), optionally
+    perturbed by a small deterministic jitter that models the run-to-run
+    noise of heuristic place & route (the reason §4.1 smooths measured
+    delays with their neighbors). *)
+
+type path_step = {
+  ps_cell : int;
+  ps_cell_name : string;
+  ps_arrival : float;  (** arrival at this cell's output, ns *)
+  ps_via_net : int option;  (** net taken to reach this cell *)
+}
+
+type report = {
+  critical_ns : float;  (** worst register-to-register (or port) path, ns *)
+  fmax_mhz : float;
+  path : path_step list;  (** critical path, source first *)
+  worst_net : int option;  (** highest-delay net on the critical path *)
+  worst_net_fanout : int;
+  worst_net_class : Hlsb_netlist.Netlist.net_class option;
+  arrivals : float array;
+      (** arrival time at each cell's output (ns); sequential cells report
+          clk->q. Used by the characterizer to probe a specific cell. *)
+}
+
+val net_delay :
+  Hlsb_device.Device.t ->
+  Hlsb_netlist.Netlist.t ->
+  Placement.t ->
+  jitter:float ->
+  seed:int ->
+  int ->
+  float
+(** Delay of one net under the model above. [jitter] is the relative sigma
+    (0. disables); the perturbation is a deterministic function of [seed]
+    and the net id. *)
+
+val analyze :
+  ?jitter:float ->
+  ?seed:int ->
+  Hlsb_device.Device.t ->
+  Hlsb_netlist.Netlist.t ->
+  Placement.t ->
+  report
+(** Raises [Failure] on a combinational cycle (validate the netlist
+    first). Default [jitter] is [0.02], default [seed] is derived from the
+    netlist name so a given design is reproducible. *)
+
+val run : ?jitter:float -> ?seed:int -> Hlsb_device.Device.t -> Hlsb_netlist.Netlist.t -> report
+(** Place then analyze. *)
+
+val pp_report : Format.formatter -> report -> unit

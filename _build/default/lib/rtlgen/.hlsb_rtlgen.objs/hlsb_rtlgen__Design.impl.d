@@ -1,0 +1,1 @@
+lib/rtlgen/design.ml: Array Dataflow Dtype Hlsb_ctrl Hlsb_delay Hlsb_device Hlsb_ir Hlsb_netlist Hlsb_sched Kernel List Lower Option Printf

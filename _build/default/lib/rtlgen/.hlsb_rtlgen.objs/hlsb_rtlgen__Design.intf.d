@@ -1,0 +1,1 @@
+lib/rtlgen/design.mli: Hlsb_ctrl Hlsb_device Hlsb_ir Hlsb_netlist

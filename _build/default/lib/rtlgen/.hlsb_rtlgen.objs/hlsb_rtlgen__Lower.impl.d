@@ -1,0 +1,1 @@
+lib/rtlgen/lower.ml: Array Dag Dtype Hashtbl Hlsb_ctrl Hlsb_delay Hlsb_device Hlsb_ir Hlsb_netlist Hlsb_sched Kernel List Op Option Printf

@@ -1,0 +1,1 @@
+lib/rtlgen/lower.mli: Hlsb_ctrl Hlsb_device Hlsb_netlist Hlsb_sched

@@ -1,0 +1,199 @@
+open Hlsb_ir
+module Device = Hlsb_device.Device
+module Netlist = Hlsb_netlist.Netlist
+module Structs = Hlsb_netlist.Structs
+module Calibrate = Hlsb_delay.Calibrate
+module Schedule = Hlsb_sched.Schedule
+module Style = Hlsb_ctrl.Style
+module Sync = Hlsb_ctrl.Sync
+
+type kernel_info = {
+  ki_name : string;
+  ki_depth : int;
+  ki_registers_added : int;
+  ki_skid_bits : int;
+}
+
+type t = {
+  netlist : Netlist.t;
+  device : Device.t;
+  recipe : Style.recipe;
+  kernels : kernel_info list;
+  sync_groups_emitted : int;
+  max_sync_fanout : int;
+}
+
+let schedule_mode device (recipe : Style.recipe) =
+  match recipe.Style.sched with
+  | Style.Sched_hls -> Schedule.Baseline
+  | Style.Sched_aware -> Schedule.Broadcast_aware (Calibrate.shared device)
+
+let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
+  (match Dataflow.validate df with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Design.generate: " ^ msg));
+  let nl = Netlist.create ~name in
+  let mode = schedule_mode device recipe in
+  let fanout_trees = recipe.Style.sched = Style.Sched_aware in
+  let n_procs = Dataflow.n_processes df in
+  let lowered = Array.make n_procs None in
+  (* Lower kernels process-by-process so placement clusters each process. *)
+  for p = 0 to n_procs - 1 do
+    match (Dataflow.process df p).Dataflow.p_kernel with
+    | None -> ()
+    | Some kernel ->
+      let sched = Schedule.run ~target_mhz mode kernel in
+      let lw = Lower.lower device nl ~pipe:recipe.Style.pipe ~fanout_trees sched in
+      lowered.(p) <- Some lw
+  done;
+  (* Wire channels: writer interface -> reader FIFO cell, matched by name. *)
+  Array.iter
+    (fun (c : Dataflow.channel) ->
+      let find_iface p ifaces =
+        List.find_opt (fun (n, _, _) -> n = c.Dataflow.c_name) (ifaces p)
+      in
+      let wr =
+        if c.Dataflow.c_src < 0 then None
+        else
+          Option.bind lowered.(c.Dataflow.c_src) (fun lw ->
+            find_iface lw (fun lw -> lw.Lower.lw_fifo_write_ifaces))
+      in
+      let rd =
+        if c.Dataflow.c_dst < 0 then None
+        else
+          Option.bind lowered.(c.Dataflow.c_dst) (fun lw ->
+            find_iface lw (fun lw -> lw.Lower.lw_fifo_read_ifaces))
+      in
+      match (wr, rd) with
+      | Some (_, wcell, width), Some (_, rcell, _) ->
+        ignore
+          (Netlist.add_net nl
+             ~name:("chan_" ^ c.Dataflow.c_name)
+             ~driver:wcell ~sinks:[ rcell ] ~width ())
+      | Some (_, wcell, width), None when c.Dataflow.c_dst < 0 ->
+        let port =
+          Netlist.add_cell nl
+            ~name:("port_" ^ c.Dataflow.c_name)
+            ~kind:Netlist.Port_out ~delay:0. ~res:Netlist.zero_res
+        in
+        ignore
+          (Netlist.add_net nl
+             ~name:("chan_" ^ c.Dataflow.c_name)
+             ~driver:wcell ~sinks:[ port ] ~width ())
+      | None, _ when c.Dataflow.c_src < 0 -> () (* external input: fed by port *)
+      | _ ->
+        invalid_arg
+          (Printf.sprintf "Design.generate: channel %s has no matching FIFO"
+             c.Dataflow.c_name))
+    (Dataflow.channels df);
+  (* Synchronization controllers. *)
+  let df_sync =
+    match recipe.Style.sync with
+    | Style.Sync_naive -> df
+    | Style.Sync_pruned -> Sync.split_independent df
+  in
+  let n_groups = ref 0 in
+  let max_fanout = ref 0 in
+  List.iter
+    (fun group ->
+      let members =
+        List.filter_map
+          (fun p -> Option.map (fun lw -> (p, lw)) lowered.(p))
+          group
+      in
+      if List.length members > 1 then begin
+        incr n_groups;
+        let wait_procs =
+          match recipe.Style.sync with
+          | Style.Sync_naive -> List.map fst members
+          | Style.Sync_pruned ->
+            (Sync.longest_latency_wait df_sync (List.map fst members)).Sync.waited
+        in
+        let dones =
+          List.filter_map
+            (fun p ->
+              Option.map (fun lw -> lw.Lower.lw_done)
+                (if List.mem p wait_procs then lowered.(p) else None))
+            wait_procs
+        in
+        let root =
+          match dones with
+          | [] -> None
+          | _ ->
+            Some
+              (Structs.add_and_tree device nl
+                 ~name:(Printf.sprintf "sync%d" !n_groups)
+                 ~inputs:dones)
+        in
+        (* FSM state register holding the aggregated condition; its output
+           is the broadcast next-start (Fig. 6). *)
+        match root with
+        | None -> ()
+        | Some root_cell ->
+          let fsm =
+            Netlist.add_cell nl
+              ~name:(Printf.sprintf "sync%d_fsm" !n_groups)
+              ~kind:Netlist.Seq ~delay:0.
+              ~res:(Hlsb_netlist.Macro.fsm ~states:4)
+          in
+          ignore
+            (Netlist.add_net nl ~cls:Netlist.Ctrl_sync
+               ~name:(Printf.sprintf "sync%d_cond" !n_groups)
+               ~driver:root_cell ~sinks:[ fsm ] ~width:1 ());
+          let start_sinks =
+            List.concat_map (fun (_, lw) -> lw.Lower.lw_start_sinks) members
+          in
+          max_fanout := max !max_fanout (List.length start_sinks);
+          if start_sinks <> [] then begin
+            (* each member kernel registers the incoming start in its own
+               controller, so the broadcast takes two registered hops *)
+            let hop =
+              Structs.add_register nl
+                ~name:(Printf.sprintf "sync%d_hop" !n_groups)
+                ~width:1
+            in
+            ignore
+              (Netlist.add_net nl ~cls:Netlist.Ctrl_sync
+                 ~name:(Printf.sprintf "sync%d_s0" !n_groups)
+                 ~driver:fsm ~sinks:[ hop ] ~width:1 ());
+            ignore
+              (Netlist.add_net nl ~cls:Netlist.Ctrl_sync
+                 ~name:(Printf.sprintf "sync%d_start" !n_groups)
+                 ~driver:hop ~sinks:start_sinks ~width:1 ())
+          end
+      end)
+    (Dataflow.sync_groups df_sync);
+  let kernels =
+    Array.to_list lowered
+    |> List.filter_map
+         (Option.map (fun lw ->
+            {
+              ki_name = lw.Lower.lw_name;
+              ki_depth = lw.Lower.lw_depth;
+              ki_registers_added = lw.Lower.lw_registers_added;
+              ki_skid_bits = lw.Lower.lw_skid_bits;
+            }))
+  in
+  {
+    netlist = nl;
+    device;
+    recipe;
+    kernels;
+    sync_groups_emitted = !n_groups;
+    max_sync_fanout = !max_fanout;
+  }
+
+let single_kernel ?(target_mhz = 300.) ~device ~recipe kernel =
+  let df = Dataflow.create () in
+  let p =
+    Dataflow.add_process df ~name:kernel.Kernel.name ~kernel ()
+  in
+  (* Anchor channel so the network validates; external-input channels with
+     no matching FIFO are legal and skipped by the wiring pass. *)
+  ignore
+    (Dataflow.add_channel df
+       ~name:(kernel.Kernel.name ^ "_anchor")
+       ~src:(-1) ~dst:p ~dtype:(Dtype.Uint 8) ());
+  generate ~target_mhz ~device ~recipe
+    ~name:(kernel.Kernel.name ^ "_" ^ Style.label recipe)
+    df

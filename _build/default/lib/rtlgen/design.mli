@@ -1,0 +1,40 @@
+(** Top-level RTL generation for a dataflow design: schedules every kernel,
+    lowers them into one netlist, wires cross-kernel FIFO channels by name,
+    and emits the synchronization controllers — naive (one AND-tree over
+    every done in a sync group, one start broadcast to every member,
+    Fig. 6) or pruned (§4.2: independent flows get their own controller;
+    parallel modules wait only on the longest static latency). *)
+
+type kernel_info = {
+  ki_name : string;
+  ki_depth : int;
+  ki_registers_added : int;
+  ki_skid_bits : int;
+}
+
+type t = {
+  netlist : Hlsb_netlist.Netlist.t;
+  device : Hlsb_device.Device.t;
+  recipe : Hlsb_ctrl.Style.recipe;
+  kernels : kernel_info list;
+  sync_groups_emitted : int;
+  max_sync_fanout : int;  (** largest start-broadcast fanout emitted *)
+}
+
+val generate :
+  ?target_mhz:float ->
+  device:Hlsb_device.Device.t ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  name:string ->
+  Hlsb_ir.Dataflow.t ->
+  t
+(** Raises [Invalid_argument] if the dataflow network fails validation or a
+    channel endpoint kernel lacks the correspondingly-named FIFO. *)
+
+val single_kernel :
+  ?target_mhz:float ->
+  device:Hlsb_device.Device.t ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  Hlsb_ir.Kernel.t ->
+  t
+(** Convenience wrapper for designs that are one pipelined kernel. *)

@@ -1,0 +1,437 @@
+open Hlsb_ir
+module Device = Hlsb_device.Device
+module Netlist = Hlsb_netlist.Netlist
+module Macro = Hlsb_netlist.Macro
+module Structs = Hlsb_netlist.Structs
+module Oplib = Hlsb_delay.Oplib
+module Schedule = Hlsb_sched.Schedule
+module Sched_report = Hlsb_sched.Report
+module Style = Hlsb_ctrl.Style
+module Skid = Hlsb_ctrl.Skid
+
+type t = {
+  lw_name : string;
+  lw_depth : int;
+  lw_done : int;
+  lw_start_sinks : int list;
+  lw_fifo_write_ifaces : (string * int * int) list;
+  lw_fifo_read_ifaces : (string * int * int) list;
+  lw_seq_cells : int list;
+  lw_skid_bits : int;
+  lw_registers_added : int;
+}
+
+(* Per-node lowering result: the cell whose output carries the node's value
+   after its intrinsic/added latency, plus the cells at which this node's
+   *inputs* arrive (a Load's address arrives at every BRAM unit). *)
+type slot = {
+  s_result : int option;  (** None for Const and value-less nodes *)
+  s_arg_sinks : int list;  (** cells consuming this node's argument nets *)
+}
+
+let big_fanout = 8
+
+let lower (d : Device.t) nl ~pipe ~fanout_trees (sched : Schedule.t) =
+  let k = sched.Schedule.kernel in
+  let dag = k.Kernel.dag in
+  let kname = k.Kernel.name in
+  let n = Dag.n_nodes dag in
+  let entries = sched.Schedule.entries in
+  let cname fmt = Printf.ksprintf (fun s -> kname ^ "." ^ s) fmt in
+  let slots = Array.make n { s_result = None; s_arg_sinks = [] } in
+  let seq_cells = ref [] in
+  let start_sinks = ref [] in
+  let fifo_rd = ref [] and fifo_wr = ref [] in
+  let registers_added = ref 0 in
+  let add_seq c = seq_cells := c :: !seq_cells in
+  let new_reg name width =
+    let c = Structs.add_register nl ~name ~width in
+    add_seq c;
+    c
+  in
+  (* Register chain of given length after a producer cell. *)
+  let chain_after producer name width length =
+    let rec go prev i acc =
+      if i > length then List.rev acc
+      else begin
+        let r = new_reg (Printf.sprintf "%s_p%d" name i) width in
+        ignore
+          (Netlist.add_net nl
+             ~name:(Printf.sprintf "%s_pn%d" name i)
+             ~driver:prev ~sinks:[ r ] ~width ());
+        go r (i + 1) (r :: acc)
+      end
+    in
+    go producer 1 []
+  in
+  (* Memory banks are shared across all loads/stores of one buffer. Under
+     the broadcast-aware flow, banks spanning many units get their read
+     cascade pipelined (the BRAM output registers §4.1's added latency
+     enables). *)
+  let banks = Hashtbl.create 4 in
+  let get_bank b =
+    match Hashtbl.find_opt banks b with
+    | Some mb -> mb
+    | None ->
+      let buf = Dag.buffer dag b in
+      let units =
+        Device.bram18_for
+          ~width:(Dtype.width buf.Dag.b_dtype)
+          ~depth:buf.Dag.b_depth
+      in
+      let read_pipeline = fanout_trees && units > 16 in
+      let mb =
+        Structs.add_membank d nl ~read_pipeline
+          ~name:(cname "%s" buf.Dag.b_name)
+          ~width:(Dtype.width buf.Dag.b_dtype)
+          ~depth:buf.Dag.b_depth ()
+      in
+      Array.iter add_seq mb.Structs.mb_units;
+      Hashtbl.add banks b mb;
+      mb
+  in
+  (* ---- pass 1: cells per node ---- *)
+  Dag.iter dag (fun v ->
+    let e = entries.(v) in
+    let dt = Dag.dtype dag v in
+    let w = Dtype.width dt in
+    let slot =
+      match Dag.kind dag v with
+      | Dag.Const _ -> { s_result = None; s_arg_sinks = [] }
+      | Dag.Input name ->
+        (* Data inputs are loaded by the datapath as it runs; only control
+           interfaces (FIFO reads, the iteration counter) listen to the
+           controller's start. *)
+        let c = new_reg (cname "in_%s" name) w in
+        { s_result = Some c; s_arg_sinks = [] }
+      | Dag.Operation o ->
+        (* Internal stages: intrinsic pipelining + §4.1 split stages. The
+           broadcast-distribution stages are realized in the wiring pass as
+           a fanout tree instead. The macro's combinational delay is spread
+           across its internal stages (DSP MREG/PREG, float-core stages,
+           retiming over the split registers). *)
+        let internal = e.Schedule.e_latency - e.Schedule.e_bcast_levels in
+        let c =
+          Netlist.add_cell nl
+            ~name:(cname "%s_%d" (Op.to_string o) v)
+            ~kind:Netlist.Comb
+            ~delay:(Oplib.logic_delay d o dt /. float_of_int (internal + 1))
+            ~res:(Oplib.resources o dt)
+        in
+        let result =
+          if internal > 0 then begin
+            registers_added := !registers_added + e.Schedule.e_added_pipe;
+            match List.rev (chain_after c (cname "r%d" v) w internal) with
+            | last :: _ -> last
+            | [] -> c
+          end
+          else c
+        in
+        { s_result = Some result; s_arg_sinks = [ c ] }
+      | Dag.Load b ->
+        let mb = get_bank b in
+        let units = Array.to_list mb.Structs.mb_units in
+        (* Synchronous read: one output register, plus any added stages. *)
+        let out = new_reg (cname "ld%d_q" v) w in
+        ignore
+          (Netlist.add_net nl
+             ~name:(cname "ld%d_d" v)
+             ~driver:mb.Structs.mb_read_out ~sinks:[ out ] ~width:w ());
+        let added = e.Schedule.e_added_pipe in
+        if fanout_trees && added > 0 && mb.Structs.mb_n_units > 16 then begin
+          (* Spend the added latency on pipelining the address broadcast —
+             that is where the wire delay lives for big buffers. *)
+          registers_added := !registers_added + added;
+          let addr_root =
+            Netlist.add_cell nl
+              ~name:(cname "ld%d_addr" v)
+              ~kind:Netlist.Comb ~delay:0.05 ~res:(Macro.logic 16)
+          in
+          ignore
+            (Structs.add_fanout_tree nl
+               ~name:(cname "ld%d_atree" v)
+               ~driver:addr_root ~sinks:units ~width:16 ~levels:added
+               ~leaf_fanout:16);
+          { s_result = Some out; s_arg_sinks = [ addr_root ] }
+        end
+        else begin
+          let extra =
+            max 0 (e.Schedule.e_added_pipe - mb.Structs.mb_read_latency)
+          in
+          let result =
+            if extra > 0 then begin
+              registers_added := !registers_added + extra;
+              match List.rev (chain_after out (cname "ld%d" v) w extra) with
+              | last :: _ -> last
+              | [] -> out
+            end
+            else out
+          in
+          { s_result = Some result; s_arg_sinks = units }
+        end
+      | Dag.Store b ->
+        let mb = get_bank b in
+        (* Bundle value+address; the bundle cell is the broadcast source of
+           Fig. 4 (a raw mid-chain net under the baseline flow). *)
+        let bundle_w = w + 16 in
+        let st =
+          Netlist.add_cell nl ~name:(cname "st%d" v) ~kind:Netlist.Comb
+            ~delay:0.10 ~res:(Macro.logic bundle_w)
+        in
+        let units = Array.to_list mb.Structs.mb_units in
+        let added = e.Schedule.e_added_pipe in
+        if fanout_trees && added > 0 && mb.Structs.mb_n_units > 1 then begin
+          registers_added := !registers_added + added;
+          ignore
+            (Structs.add_fanout_tree nl ~name:(cname "st%d_tree" v) ~driver:st
+               ~sinks:units ~width:bundle_w ~levels:added ~leaf_fanout:16)
+        end
+        else begin
+          let cls =
+            if mb.Structs.mb_n_units >= big_fanout then Netlist.Data_broadcast
+            else Netlist.Data
+          in
+          ignore
+            (Netlist.add_net nl ~cls
+               ~name:(cname "st%d_w" v)
+               ~driver:st ~sinks:units ~width:bundle_w ())
+        end;
+        { s_result = None; s_arg_sinks = [ st ] }
+      | Dag.Fifo_read f ->
+        let fd = Dag.fifo dag f in
+        let c =
+          Netlist.add_cell nl
+            ~name:(cname "fifo_%s" fd.Dag.f_name)
+            ~kind:Netlist.Seq ~delay:0.2
+            ~res:(Macro.fifo ~width:w ~depth:fd.Dag.f_depth)
+        in
+        add_seq c;
+        start_sinks := c :: !start_sinks;
+        fifo_rd := (fd.Dag.f_name, c, w) :: !fifo_rd;
+        { s_result = Some c; s_arg_sinks = [] }
+      | Dag.Fifo_write f ->
+        (* The FIFO write interface is registered (the macro's input
+           stage), so cross-kernel channel wires start at a register and
+           do not extend the producer's datapath cycle. *)
+        let fd = Dag.fifo dag f in
+        let c =
+          Netlist.add_cell nl
+            ~name:(cname "wr_%s" fd.Dag.f_name)
+            ~kind:Netlist.Seq ~delay:0.2
+            ~res:(Netlist.add_res (Macro.logic w) (Macro.register w))
+        in
+        add_seq c;
+        fifo_wr := (fd.Dag.f_name, c, w) :: !fifo_wr;
+        { s_result = None; s_arg_sinks = [ c ] }
+      | Dag.Output name ->
+        let c =
+          Netlist.add_cell nl ~name:(cname "out_%s" name)
+            ~kind:Netlist.Port_out ~delay:0. ~res:Netlist.zero_res
+        in
+        { s_result = None; s_arg_sinks = [ c ] }
+    in
+    slots.(v) <- slot);
+  (* ---- pass 2: nets (args -> consumers), with cross-cycle registers ---- *)
+  (* Boundary register chains, per producer node, extended lazily. *)
+  let chains : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let chain_reg v j =
+    (* register holding v's value j cycles after its result cycle *)
+    let table =
+      match Hashtbl.find_opt chains v with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.add chains v t;
+        t
+    in
+    let rec get j =
+      match Hashtbl.find_opt table j with
+      | Some c -> c
+      | None ->
+        let w = Dtype.width (Dag.dtype dag v) in
+        let prev =
+          if j = 1 then Option.get slots.(v).s_result else get (j - 1)
+        in
+        let r = new_reg (cname "v%d_s%d" v j) w in
+        ignore
+          (Netlist.add_net nl
+             ~name:(cname "v%d_sn%d" v j)
+             ~driver:prev ~sinks:[ r ] ~width:w ());
+        Hashtbl.replace table j r;
+        r
+    in
+    get j
+  in
+  (* Cycle at which v's value leaves its internal pipeline; the remaining
+     e_bcast_levels stages up to the scheduler's result cycle belong to the
+     distribution tree built here. *)
+  let internal_done_cycle v =
+    Schedule.finish_cycle sched v - entries.(v).Schedule.e_bcast_levels
+  in
+  (* Group each node's consumers by cycle distance. *)
+  Dag.iter dag (fun v ->
+    match slots.(v).s_result with
+    | None -> ()
+    | Some rc ->
+      let w = Dtype.width (Dag.dtype dag v) in
+      let rcyc = internal_done_cycle v in
+      let groups = Hashtbl.create 4 in
+      List.iter
+        (fun u ->
+          match slots.(u).s_arg_sinks with
+          | [] -> ()
+          | ucells ->
+            (* one sink entry per read (multiplicity matters for fanout) *)
+            let reads =
+              List.length (List.filter (fun a -> a = v) (Dag.args dag u))
+            in
+            let j = max 0 (entries.(u).Schedule.e_cycle - rcyc) in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt groups j) in
+            let repeated =
+              List.concat (List.init reads (fun _ -> ucells))
+            in
+            Hashtbl.replace groups j (repeated @ cur))
+        (Dag.consumers dag v);
+      let js = Hashtbl.fold (fun j _ acc -> j :: acc) groups [] in
+      List.iter
+        (fun j ->
+          let sinks = List.rev (Hashtbl.find groups j) in
+          let cls =
+            if List.length sinks >= big_fanout then Netlist.Data_broadcast
+            else Netlist.Data
+          in
+          if j = 0 then
+            (* Consumers chained directly to the producer — under the
+               baseline flow this is the raw mid-chain broadcast of §3.1. *)
+            ignore
+              (Netlist.add_net nl ~cls
+                 ~name:(cname "v%d_c0" v)
+                 ~driver:rc ~sinks ~width:w ())
+          else if fanout_trees && List.length sinks > 16 then begin
+            registers_added := !registers_added + j;
+            ignore
+              (Structs.add_fanout_tree nl
+                 ~name:(cname "v%d_ft%d" v j)
+                 ~driver:rc ~sinks ~width:w ~levels:j ~leaf_fanout:8)
+          end
+          else begin
+            let reg = chain_reg v j in
+            ignore
+              (Netlist.add_net nl ~cls
+                 ~name:(cname "v%d_c%d" v j)
+                 ~driver:reg ~sinks ~width:w ())
+          end)
+        (List.sort compare js));
+  (* Iteration counter feeding the done flag: created before control
+     generation so the stall net reaches it too. *)
+  let counter = new_reg (cname "iter_cnt") 16 in
+  start_sinks := counter :: !start_sinks;
+  (* ---- pass 3: pipeline control ---- *)
+  let depth = sched.Schedule.depth in
+  let skid_bits = ref 0 in
+  (match pipe with
+  | Style.Stall ->
+    (* FIFO status -> stall logic -> every sequential element (Fig. 8). *)
+    let stall =
+      Netlist.add_cell nl ~name:(cname "stall_logic") ~kind:Netlist.Comb
+        ~delay:(2. *. d.Device.t_lut)
+        ~res:(Macro.logic (4 + List.length !fifo_rd + List.length !fifo_wr))
+    in
+    List.iter
+      (fun (name, c, _) ->
+        ignore
+          (Netlist.add_net nl ~cls:Netlist.Ctrl_pipeline
+             ~name:(cname "full_%s" name)
+             ~driver:c ~sinks:[ stall ] ~width:1 ()))
+      !fifo_rd;
+    let sinks = List.rev !seq_cells in
+    if sinks <> [] then
+      ignore
+        (Netlist.add_net nl ~cls:Netlist.Ctrl_pipeline ~name:(cname "stall")
+           ~driver:stall ~sinks ~width:1 ())
+  | Style.Skid { min_area } ->
+    (* Valid-bit chain accompanying the data (always-flowing pipeline). *)
+    let valids = Structs.add_reg_chain nl ~name:(cname "valid") ~width:1 ~length:(max 1 depth) in
+    List.iter add_seq valids;
+    let widths = Sched_report.stage_widths sched in
+    let out_width = max 1 (Kernel.data_width_out k) in
+    let plan =
+      if min_area then Skid.min_area ~widths ~out_width
+      else Skid.end_only ~widths ~out_width
+    in
+    (* Back-pressure is registered every few stages; the buffers absorb the
+       extra in-flight entries. *)
+    let ctrl_stages = max 2 (depth / 8) in
+    let first_fifo = ref None in
+    List.iter
+      (fun (pos, depth_entries, width) ->
+        (* a zero-width segment still carries its valid bit *)
+        let width = max 1 width in
+        let entries_total = depth_entries + ctrl_stages in
+        let c =
+          Netlist.add_cell nl
+            ~name:(cname "skid_%d" pos)
+            ~kind:Netlist.Seq ~delay:0.2
+            ~res:(Macro.fifo ~width ~depth:entries_total)
+        in
+        add_seq c;
+        skid_bits := !skid_bits + (entries_total * width);
+        if !first_fifo = None then first_fifo := Some c;
+        (* data entering the skid buffer comes from the nearest valid reg *)
+        let src =
+          let idx = min (pos - 1) (List.length valids - 1) in
+          List.nth valids idx
+        in
+        ignore
+          (Netlist.add_net nl
+             ~name:(cname "skid_in_%d" pos)
+             ~driver:src ~sinks:[ c ] ~width ()))
+      plan.Skid.depths;
+    (* Occupancy of the first buffer gates upstream reads, through a short
+       register pipeline (local nets only — no broadcast). *)
+    (match !first_fifo with
+    | None -> ()
+    | Some f ->
+      let hops = Structs.add_reg_chain nl ~name:(cname "bp") ~width:1 ~length:ctrl_stages in
+      List.iter add_seq hops;
+      (match hops with
+      | first :: _ ->
+        ignore
+          (Netlist.add_net nl ~cls:Netlist.Ctrl_pipeline
+             ~name:(cname "bp_src")
+             ~driver:f ~sinks:[ first ] ~width:1 ())
+      | [] -> ());
+      let gate =
+        Netlist.add_cell nl ~name:(cname "read_gate") ~kind:Netlist.Comb
+          ~delay:d.Device.t_lut ~res:(Macro.logic 4)
+      in
+      let last_hop = List.nth hops (List.length hops - 1) in
+      ignore
+        (Netlist.add_net nl ~cls:Netlist.Ctrl_pipeline
+           ~name:(cname "bp_gate")
+           ~driver:last_hop ~sinks:[ gate ] ~width:1 ());
+      let read_sinks = List.map (fun (_, c, _) -> c) !fifo_rd in
+      if read_sinks <> [] then
+        ignore
+          (Netlist.add_net nl ~cls:Netlist.Ctrl_pipeline
+             ~name:(cname "read_en")
+             ~driver:gate ~sinks:read_sinks ~width:1 ())));
+  (* ---- done flag ---- *)
+  let done_cell =
+    Netlist.add_cell nl ~name:(cname "done") ~kind:Netlist.Comb
+      ~delay:(2. *. d.Device.t_lut) ~res:(Macro.logic 16)
+  in
+  ignore
+    (Netlist.add_net nl ~cls:Netlist.Ctrl_sync ~name:(cname "cnt_q")
+       ~driver:counter ~sinks:[ done_cell ] ~width:16 ());
+  {
+    lw_name = kname;
+    lw_depth = depth;
+    lw_done = done_cell;
+    lw_start_sinks = List.rev !start_sinks;
+    lw_fifo_write_ifaces = List.rev !fifo_wr;
+    lw_fifo_read_ifaces = List.rev !fifo_rd;
+    lw_seq_cells = List.rev !seq_cells;
+    lw_skid_bits = !skid_bits;
+    lw_registers_added = !registers_added;
+  }

@@ -1,0 +1,42 @@
+(** Lowers one scheduled kernel to macro cells and nets, reproducing the
+    RTL structures the paper dissects:
+
+    - datapath operators become combinational macros; values crossing cycle
+      boundaries get pipeline registers (a shift register when consumed
+      several cycles later);
+    - under the baseline flow a broadcast value is one raw net from its
+      producer to every same-cycle reader — mid-chain, where phys_opt
+      cannot replicate it (§3.1);
+    - under the broadcast-aware flow, values the scheduler re-timed travel
+      through pipelined fanout trees, which the placement refinement turns
+      into geometric waypoints (§4.1's register insertion);
+    - buffers expand to their physical BRAM units with a write broadcast
+      and a read mux tree (Fig. 4);
+    - stall-based control drives one [Ctrl_pipeline] net from the FIFO
+      status logic to *every* sequential cell of the kernel (Fig. 8), while
+      skid control keeps the pipeline free-running behind local gates and
+      bounded skid FIFOs (§4.3). *)
+
+type t = {
+  lw_name : string;
+  lw_depth : int;  (** pipeline stages *)
+  lw_done : int;  (** cell producing the kernel's done/last-valid flag *)
+  lw_start_sinks : int list;  (** cells a controller's start must reach *)
+  lw_fifo_write_ifaces : (string * int * int) list;
+      (** (fifo name, interface cell, width) for cross-kernel channels *)
+  lw_fifo_read_ifaces : (string * int * int) list;
+  lw_seq_cells : int list;  (** every sequential cell (stall-net sinks) *)
+  lw_skid_bits : int;  (** bits of skid buffering added (0 under stall) *)
+  lw_registers_added : int;  (** §4.1 register modules inserted *)
+}
+
+val lower :
+  Hlsb_device.Device.t ->
+  Hlsb_netlist.Netlist.t ->
+  pipe:Hlsb_ctrl.Style.pipeline_ctrl ->
+  fanout_trees:bool ->
+  Hlsb_sched.Schedule.t ->
+  t
+(** Appends the kernel's cells/nets to the given netlist. [fanout_trees]
+    enables the §4.1 pipelined broadcast trees (on for broadcast-aware
+    recipes, off for the baseline). *)

@@ -1,0 +1,1 @@
+lib/sched/report.ml: Array Buffer Dag Dtype Hlsb_delay Hlsb_ir Kernel List Printf Schedule

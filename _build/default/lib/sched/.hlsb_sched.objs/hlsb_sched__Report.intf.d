@@ -1,0 +1,1 @@
+lib/sched/report.mli: Hlsb_delay Schedule

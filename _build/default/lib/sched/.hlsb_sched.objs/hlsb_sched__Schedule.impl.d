@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Dag Dtype Hlsb_delay Hlsb_device Hlsb_ir Kernel List

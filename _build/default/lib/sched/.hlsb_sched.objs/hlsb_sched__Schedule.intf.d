@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Dag Hlsb_delay Hlsb_ir Kernel

@@ -1,0 +1,293 @@
+open Hlsb_ir
+module Calibrate = Hlsb_delay.Calibrate
+module Oplib = Hlsb_delay.Oplib
+
+type mode =
+  | Baseline
+  | Broadcast_aware of Calibrate.t
+
+type entry = {
+  e_cycle : int;
+  e_start : float;
+  e_delay : float;
+  e_latency : int;
+  e_added_pipe : int;
+  e_bcast_levels : int;
+  e_factor : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  mode_label : string;
+  target_ns : float;
+  entries : entry array;
+  depth : int;
+}
+
+let eps = 1e-9
+
+(* A value read by at least this many instructions gets its own broadcast
+   distribution stage(s) under the aware flow — the paper's "insert register
+   modules to the source code". *)
+let tree_threshold = 16
+
+let leaf_fanout = 8
+
+(* Register levels the RTL generator will spend distributing a broadcast of
+   the given read count (pipelined fanout tree). *)
+let tree_levels reads =
+  if reads <= 64 then 1 else if reads <= 512 then 2 else 3
+
+let intrinsic_latency dag v =
+  match Dag.kind dag v with
+  | Dag.Operation o -> Oplib.latency_cycles o (Dag.dtype dag v)
+  | Dag.Load _ -> 1 (* synchronous BRAM read *)
+  | Dag.Input _ | Dag.Const _ | Dag.Store _ | Dag.Fifo_read _
+  | Dag.Fifo_write _ | Dag.Output _ ->
+    0
+
+let produces_value dag v =
+  match Dag.kind dag v with
+  | Dag.Store _ | Dag.Fifo_write _ | Dag.Output _ | Dag.Const _ -> false
+  | Dag.Input _ | Dag.Operation _ | Dag.Load _ | Dag.Fifo_read _ -> true
+
+(* The operator delay lookup is keyed on the *input-side* broadcast factor:
+   the operator reading a widely-shared variable is the one whose input net
+   carries the broadcast (Fig. 2: the add after `source`). *)
+let node_delay mode dag v ~factor =
+  let dt = Dag.dtype dag v in
+  match Dag.kind dag v with
+  | Dag.Input _ | Dag.Const _ -> 0.
+  | Dag.Fifo_read _ | Dag.Fifo_write _ -> 0.55 (* FIFO interface logic *)
+  | Dag.Output _ -> 0.05
+  | Dag.Operation o -> (
+    match mode with
+    | Baseline -> Oplib.predicted o dt
+    | Broadcast_aware cal -> Calibrate.op_delay cal o dt ~factor)
+  | Dag.Load b -> (
+    let buf = Dag.buffer dag b in
+    match mode with
+    | Baseline -> Oplib.mem_read_predicted
+    | Broadcast_aware cal ->
+      Calibrate.mem_read_delay cal
+        ~width:(Dtype.width buf.Dag.b_dtype)
+        ~depth:buf.Dag.b_depth)
+  | Dag.Store b -> (
+    let buf = Dag.buffer dag b in
+    match mode with
+    | Baseline -> Oplib.mem_write_predicted
+    | Broadcast_aware cal ->
+      Calibrate.mem_write_delay cal
+        ~width:(Dtype.width buf.Dag.b_dtype)
+        ~depth:buf.Dag.b_depth)
+
+(* One ASAP pass. [reads.(a)] is the read count used both for the delay
+   factor of consumers of [a] and for deciding whether [a]'s value gets
+   broadcast-distribution stages. *)
+let pass ~mode ~target (k : Kernel.t) reads =
+  let dag = k.Kernel.dag in
+  let n = Dag.n_nodes dag in
+  let aware = match mode with Baseline -> false | Broadcast_aware _ -> true in
+  let entries =
+    Array.make n
+      {
+        e_cycle = 0;
+        e_start = 0.;
+        e_delay = 0.;
+        e_latency = 0;
+        e_added_pipe = 0;
+        e_bcast_levels = 0;
+        e_factor = 1;
+      }
+  in
+  let tree'd a = aware && produces_value dag a && reads.(a) >= tree_threshold in
+  Dag.iter dag (fun v ->
+    (* Input-side broadcast factor: the largest fanout among this node's
+       argument nets; tree-distributed arguments arrive from a leaf register
+       driving at most [leaf_fanout] readers. *)
+    let factor =
+      List.fold_left
+        (fun acc a ->
+          let f = if tree'd a then min reads.(a) leaf_fanout else reads.(a) in
+          max acc f)
+        1 (Dag.args dag v)
+    in
+    let raw_delay = node_delay mode dag v ~factor in
+    let intrinsic = intrinsic_latency dag v in
+    (* §4.1: an operator whose calibrated delay alone exceeds the target
+       gets additional pipelining; downstream retiming (placement
+       refinement + fanout trees) spreads the delay over the stages.
+       Accesses to buffers spanning many physical BRAM units always get
+       distribution stages ("additional pipelining will be added to
+       variables interacting with the buffer"). *)
+    let mem_units =
+      match Dag.kind dag v with
+      | Dag.Load b | Dag.Store b ->
+        let buf = Dag.buffer dag b in
+        Hlsb_device.Device.bram18_for
+          ~width:(Dtype.width buf.Dag.b_dtype)
+          ~depth:buf.Dag.b_depth
+      | Dag.Input _ | Dag.Const _ | Dag.Operation _ | Dag.Fifo_read _
+      | Dag.Fifo_write _ | Dag.Output _ ->
+        0
+    in
+    let mem_floor =
+      if not aware then 0
+      else if mem_units > 1024 then 2
+      else if mem_units > 16 then 1
+      else 0
+    in
+    let added_split =
+      let by_delay =
+        if aware && raw_delay > target then
+          int_of_float (ceil (raw_delay /. target)) - 1
+        else 0
+      in
+      max by_delay mem_floor
+    in
+    (* Broadcast distribution stages for this node's own value. *)
+    let added_bcast = if tree'd v then tree_levels reads.(v) else 0 in
+    let delay = raw_delay /. float_of_int (added_split + 1) in
+    let latency = intrinsic + added_split + added_bcast in
+    let ready =
+      List.fold_left
+        (fun acc a ->
+          let ea = entries.(a) in
+          let t_avail =
+            if ea.e_latency > 0 then
+              float_of_int (ea.e_cycle + ea.e_latency) *. target
+            else
+              (float_of_int ea.e_cycle *. target) +. ea.e_start +. ea.e_delay
+          in
+          max acc t_avail)
+        0. (Dag.args dag v)
+    in
+    let cycle = int_of_float ((ready +. eps) /. target) in
+    let offset = ready -. (float_of_int cycle *. target) in
+    let offset = if offset < 0. then 0. else offset in
+    let cycle, offset =
+      if offset +. delay > target +. eps && offset > eps then (cycle + 1, 0.)
+      else (cycle, offset)
+    in
+    entries.(v) <-
+      {
+        e_cycle = cycle;
+        e_start = offset;
+        e_delay = delay;
+        e_latency = latency;
+        e_added_pipe = added_split;
+        e_bcast_levels = added_bcast;
+        e_factor = factor;
+      });
+  entries
+
+let result_cycle entries v = entries.(v).e_cycle + entries.(v).e_latency
+
+(* Reads of each node's value by consumers scheduled in its result cycle
+   (later consumers read a registered copy, so they do not load the comb
+   net). *)
+let same_cycle_reads entries dag =
+  let n = Dag.n_nodes dag in
+  let counts = Array.make n 0 in
+  Dag.iter dag (fun u ->
+    List.iter
+      (fun a ->
+        if entries.(u).e_cycle = result_cycle entries a then
+          counts.(a) <- counts.(a) + 1)
+      (Dag.args dag u));
+  counts
+
+(* The scheduler budgets chains against the target minus a clock
+   uncertainty margin, like the commercial tool's default. *)
+let clock_uncertainty = 0.18
+
+let run ?(target_mhz = 300.) mode (k : Kernel.t) =
+  if target_mhz <= 0. then invalid_arg "Schedule.run: target <= 0";
+  let target = 1000. /. target_mhz *. (1. -. clock_uncertainty) in
+  let dag = k.Kernel.dag in
+  let n = Dag.n_nodes dag in
+  (* Conservative first estimate: every read lands in one cycle. *)
+  let total_reads = Array.init n (fun v -> Dag.broadcast_factor dag v) in
+  let entries =
+    match mode with
+    | Baseline -> pass ~mode ~target k total_reads
+    | Broadcast_aware _ ->
+      let e1 = pass ~mode ~target k total_reads in
+      (* Refine: only same-cycle readers load the net; +1 for the boundary
+         register when the value also has later consumers. *)
+      let sc = same_cycle_reads e1 dag in
+      let refined =
+        Array.mapi
+          (fun v c ->
+            let later =
+              List.exists
+                (fun u -> e1.(u).e_cycle > result_cycle e1 v)
+                (Dag.consumers dag v)
+            in
+            (* Values that were given distribution stages keep their full
+               read count: the tree still has to reach every reader. *)
+            if
+              produces_value dag v
+              && total_reads.(v) >= tree_threshold
+            then total_reads.(v)
+            else if later then c + 1
+            else max 1 c)
+          sc
+      in
+      pass ~mode ~target k refined
+  in
+  (* Source nodes (inputs, constants, FIFO reads) are staged as late as
+     possible: a value first consumed in cycle c is read/registered in
+     cycle c-1, not held live from cycle 0. This is both what the HLS tool
+     emits and what gives the Fig. 17 width profile its waist. *)
+  Dag.iter dag (fun v ->
+    match Dag.kind dag v with
+    | Dag.Input _ | Dag.Const _ | Dag.Fifo_read _ ->
+      let consumers = Dag.consumers dag v in
+      if consumers <> [] then begin
+        let first_use =
+          List.fold_left
+            (fun acc u -> min acc entries.(u).e_cycle)
+            max_int consumers
+        in
+        let e = entries.(v) in
+        let late = max e.e_cycle (first_use - 1 - e.e_latency) in
+        entries.(v) <- { e with e_cycle = late; e_start = 0. }
+      end
+    | Dag.Operation _ | Dag.Load _ | Dag.Store _ | Dag.Fifo_write _
+    | Dag.Output _ ->
+      ());
+  let depth =
+    let m = ref 0 in
+    Dag.iter dag (fun v -> m := max !m (result_cycle entries v));
+    !m + 1
+  in
+  let mode_label =
+    match mode with
+    | Baseline -> "baseline"
+    | Broadcast_aware _ -> "broadcast-aware"
+  in
+  { kernel = k; mode_label; target_ns = target; entries; depth }
+
+let finish_cycle t v = result_cycle t.entries v
+
+let chain_ok t =
+  Array.for_all
+    (fun e -> e.e_start +. e.e_delay <= max t.target_ns e.e_delay +. 1e-6)
+    t.entries
+
+let same_cycle_factor t v =
+  let dag = t.kernel.Kernel.dag in
+  let rc = result_cycle t.entries v in
+  List.fold_left
+    (fun acc u ->
+      let reads =
+        List.length (List.filter (fun a -> a = v) (Dag.args dag u))
+      in
+      if t.entries.(u).e_cycle = rc then acc + reads else acc)
+    0 (Dag.consumers dag v)
+
+let registers_inserted t =
+  Array.fold_left
+    (fun acc e -> acc + e.e_added_pipe + e.e_bcast_levels)
+    0 t.entries

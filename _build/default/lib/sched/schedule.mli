@@ -1,0 +1,66 @@
+(** Chaining-aware operation scheduling, in two modes:
+
+    - [Baseline] uses the fanout-blind HLS delay library (§2): an operator
+      costs the same whether it feeds one consumer or a thousand, so long
+      chains form across broadcast sources and the post-route clock pays for
+      it (Fig. 2's add+sub example).
+    - [Broadcast_aware] uses the calibrated model of §4.1: each node's
+      delay is looked up at its broadcast factor (how many times its value
+      is read in the same cycle), over-long chains split at the broadcast,
+      and operators whose calibrated delay alone exceeds the target get
+      extra internal pipeline stages for downstream retiming to use.
+
+    Scheduling is ASAP with operator chaining under a target clock period.
+    Broadcast factors depend on cycle assignment and vice versa, so the
+    broadcast-aware mode starts from a conservative factor (all consumers)
+    and relaxes it with a re-scheduling pass using the factors the first
+    pass implies. *)
+
+open Hlsb_ir
+
+type mode =
+  | Baseline
+  | Broadcast_aware of Hlsb_delay.Calibrate.t
+
+type entry = {
+  e_cycle : int;  (** cycle in which the node starts *)
+  e_start : float;  (** chain offset within the cycle, ns *)
+  e_delay : float;  (** per-stage delay the scheduler budgeted *)
+  e_latency : int;
+      (** register stages after this node: intrinsic + added_pipe +
+          bcast_levels *)
+  e_added_pipe : int;
+      (** §4.1 stages added because the calibrated delay alone exceeds the
+          target (realized as operator/address pipelining) *)
+  e_bcast_levels : int;
+      (** distribution stages reserved for this node's own widely-read
+          value (realized as a pipelined fanout tree) *)
+  e_factor : int;  (** input-side broadcast factor used for the delay lookup *)
+}
+
+type t = {
+  kernel : Kernel.t;
+  mode_label : string;
+  target_ns : float;
+  entries : entry array;  (** indexed by DAG node id *)
+  depth : int;  (** pipeline depth in cycles (latest finish, exclusive) *)
+}
+
+val run : ?target_mhz:float -> mode -> Kernel.t -> t
+(** Default target is 300 MHz (more aggressive than any of the paper's
+    original designs achieve, so the schedule, not the target, binds). *)
+
+val finish_cycle : t -> Dag.node -> int
+(** First cycle in which the node's result is available to consumers. *)
+
+val chain_ok : t -> bool
+(** True if no within-cycle chain exceeds the target period (under the
+    delays the scheduler itself used). Tests assert this for both modes. *)
+
+val same_cycle_factor : t -> Dag.node -> int
+(** Number of reads of this node's value by consumers scheduled in the
+    node's own result cycle (the physical comb fanout of the value). *)
+
+val registers_inserted : t -> int
+(** Total added pipeline stages (the §4.1 register modules), for overhead
+    reporting ("pipeline length 9 -> 10" in §5.2). *)

@@ -1,0 +1,1 @@
+lib/sim/fifo.ml: List Queue

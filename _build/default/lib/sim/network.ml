@@ -1,0 +1,104 @@
+open Hlsb_ir
+
+type result = {
+  cycles : int;
+  fired : int array;
+  delivered : (int * int list) list;
+  deadlocked : bool;
+}
+
+let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
+  let n_proc = Dataflow.n_processes df in
+  let n_chan = Dataflow.n_channels df in
+  let chans = Dataflow.channels df in
+  (* Channel occupancies as token counters; contents are sequence numbers,
+     so FIFO order makes the k-th delivered token always k. *)
+  let occupancy = Array.make n_chan 0 in
+  let produced = Array.make n_chan 0 in
+  let consumed_out = Array.make n_chan 0 in
+  let delivered = Array.make n_chan [] in
+  let in_chans = Array.make n_proc [] in
+  let out_chans = Array.make n_proc [] in
+  Array.iteri
+    (fun i (c : Dataflow.channel) ->
+      if c.Dataflow.c_dst >= 0 then
+        in_chans.(c.Dataflow.c_dst) <- i :: in_chans.(c.Dataflow.c_dst);
+      if c.Dataflow.c_src >= 0 then
+        out_chans.(c.Dataflow.c_src) <- i :: out_chans.(c.Dataflow.c_src))
+    chans;
+  (* Which barrier (if any) each process belongs to. *)
+  let group_of = Array.make n_proc (-1) in
+  if sync then
+    List.iteri
+      (fun g members -> List.iter (fun p -> group_of.(p) <- g) members)
+      (Dataflow.sync_groups df);
+  let groups = if sync then Array.of_list (Dataflow.sync_groups df) else [||] in
+  let fired = Array.make n_proc 0 in
+  let ext_outputs =
+    Array.to_list chans
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, (c : Dataflow.channel)) -> c.Dataflow.c_dst = -1)
+    |> List.map fst
+  in
+  let can_fire p =
+    fired.(p) < tokens
+    && List.for_all
+         (fun c ->
+           let ch = chans.(c) in
+           if ch.Dataflow.c_src = -1 then true (* external inputs: always data *)
+           else occupancy.(c) > 0)
+         in_chans.(p)
+    && List.for_all
+         (fun c -> occupancy.(c) < chans.(c).Dataflow.c_depth)
+         out_chans.(p)
+  in
+  let fire p =
+    List.iter
+      (fun c -> if chans.(c).Dataflow.c_src >= 0 then occupancy.(c) <- occupancy.(c) - 1)
+      in_chans.(p);
+    List.iter
+      (fun c ->
+        occupancy.(c) <- occupancy.(c) + 1;
+        produced.(c) <- produced.(c) + 1)
+      out_chans.(p);
+    fired.(p) <- fired.(p) + 1
+  in
+  let all_done () =
+    List.for_all (fun c -> consumed_out.(c) >= tokens) ext_outputs
+  in
+  let limit = (tokens * 50) + 1000 in
+  let cycle = ref 0 in
+  while (not (all_done ())) && !cycle < limit do
+    (* 1. external sinks drain according to their readiness *)
+    List.iter
+      (fun c ->
+        if ready ~chan:c ~cycle:!cycle && occupancy.(c) > 0 then begin
+          occupancy.(c) <- occupancy.(c) - 1;
+          delivered.(c) <- consumed_out.(c) :: delivered.(c);
+          consumed_out.(c) <- consumed_out.(c) + 1
+        end)
+      ext_outputs;
+    (* 2. barriered groups fire all-or-nothing; free processes fire alone *)
+    let fired_this_cycle = Array.make n_proc false in
+    Array.iteri
+      (fun _ members ->
+        let members = members in
+        if List.for_all can_fire members then
+          List.iter
+            (fun p ->
+              fire p;
+              fired_this_cycle.(p) <- true)
+            members)
+      groups;
+    for p = 0 to n_proc - 1 do
+      if group_of.(p) = -1 && (not fired_this_cycle.(p)) && can_fire p then
+        fire p
+    done;
+    incr cycle
+  done;
+  {
+    cycles = !cycle;
+    fired;
+    delivered = List.map (fun c -> (c, List.rev delivered.(c))) ext_outputs;
+    deadlocked = not (all_done ());
+  }

@@ -1,0 +1,31 @@
+(** Token-level simulation of a dataflow process network under sync-group
+    barriers — demonstrates the two §4.2 facts:
+
+    - pruning (splitting a sync group into its independent components)
+      never changes any flow's output stream;
+    - it can only improve throughput: a barrier couples independent flows,
+      so back-pressure on one flow stalls the others.
+
+    Each process fires at most once per cycle, consuming one token from
+    every input channel and producing one on every output channel. A sync
+    group is a barrier: either every member of the group fires this cycle
+    or none does. External outputs (channels with dst = -1) consume tokens
+    according to a per-channel readiness pattern. *)
+
+type result = {
+  cycles : int;  (** cycles until every external output delivered [tokens] *)
+  fired : int array;  (** per-process firing count *)
+  delivered : (int * int list) list;
+      (** per external-output channel: the token sequence numbers received *)
+  deadlocked : bool;  (** hit the cycle limit before completing *)
+}
+
+val run :
+  ?sync:bool ->
+  Hlsb_ir.Dataflow.t ->
+  tokens:int ->
+  ready:(chan:int -> cycle:int -> bool) ->
+  result
+(** [sync] (default true) applies the network's sync groups as barriers;
+    [sync:false] ignores them (an idealized fully-decoupled run, useful as
+    a reference). External input channels (src = -1) always have data. *)

@@ -1,0 +1,122 @@
+type 'b result = {
+  outputs : 'b list;
+  cycles : int;
+  max_occupancy : int;
+  overflow : bool;
+}
+
+let cycle_limit n_inputs stages = (n_inputs * 20) + (stages * 10) + 1000
+
+let run_stall ~stages ~inputs ~ready ~f =
+  if stages < 1 then invalid_arg "Pipeline.run_stall: stages < 1";
+  let regs = Array.make stages None in
+  let out_fifo = Fifo.create ~depth:2 in
+  let pending = ref inputs in
+  let delivered = ref [] in
+  let n_in = List.length inputs in
+  let limit = cycle_limit n_in stages in
+  let cycle = ref 0 in
+  let drained () =
+    !pending = []
+    && Array.for_all (fun s -> s = None) regs
+    && Fifo.is_empty out_fifo
+  in
+  while (not (drained ())) && !cycle < limit do
+    (* 1. downstream consumes *)
+    if ready !cycle then begin
+      match Fifo.pop out_fifo with
+      | Some x -> delivered := x :: !delivered
+      | None -> ()
+    end;
+    (* 2. stall decision: output side cannot accept -> freeze everything *)
+    let stall = Fifo.is_full out_fifo in
+    if not stall then begin
+      (* 3. advance: tail leaves, stages shift, head reads *)
+      (match regs.(stages - 1) with
+      | Some x -> Fifo.push out_fifo (f x)
+      | None -> ());
+      for i = stages - 1 downto 1 do
+        regs.(i) <- regs.(i - 1)
+      done;
+      (match !pending with
+      | x :: rest ->
+        regs.(0) <- Some x;
+        pending := rest
+      | [] -> regs.(0) <- None)
+    end;
+    incr cycle
+  done;
+  {
+    outputs = List.rev !delivered;
+    cycles = !cycle;
+    max_occupancy = 0;
+    overflow = false;
+  }
+
+type gate =
+  | Gate_empty
+  | Gate_credit
+
+let run_skid ~stages ~skid_depth ~ctrl_delay ~gate ~inputs ~ready ~f =
+  if stages < 1 then invalid_arg "Pipeline.run_skid: stages < 1";
+  if ctrl_delay < 0 then invalid_arg "Pipeline.run_skid: ctrl_delay < 0";
+  let regs = Array.make stages None in
+  let skid = Fifo.create ~depth:skid_depth in
+  (* History of skid occupancy, oldest first, for the registered
+     back-pressure path. *)
+  let occ_hist = Array.make (ctrl_delay + 1) 0 in
+  let pending = ref inputs in
+  let delivered = ref [] in
+  let n_in = List.length inputs in
+  let limit = cycle_limit n_in stages in
+  let cycle = ref 0 in
+  let drained () =
+    !pending = []
+    && Array.for_all (fun s -> s = None) regs
+    && Fifo.is_empty skid
+  in
+  while (not (drained ())) && !cycle < limit do
+    (* 1. tail enters the skid buffer (pipeline never stalls) *)
+    (match regs.(stages - 1) with
+    | Some x -> Fifo.push skid (f x)
+    | None -> ());
+    (* 2. downstream consumes from the skid buffer *)
+    if ready !cycle then begin
+      match Fifo.pop skid with
+      | Some x -> delivered := x :: !delivered
+      | None -> ()
+    end;
+    (* 3. upstream read gate (see the interface for the two disciplines) *)
+    let gate_occ = occ_hist.(0) in
+    let threshold =
+      match gate with
+      | Gate_empty -> 0
+      | Gate_credit -> skid_depth - stages - 1 - ctrl_delay
+    in
+    for i = 0 to ctrl_delay - 1 do
+      occ_hist.(i) <- occ_hist.(i + 1)
+    done;
+    occ_hist.(ctrl_delay) <- Fifo.length skid;
+    (* 4. advance; bubbles enter while the gate is closed *)
+    for i = stages - 1 downto 1 do
+      regs.(i) <- regs.(i - 1)
+    done;
+    (if gate_occ <= threshold then
+       match !pending with
+       | x :: rest ->
+         regs.(0) <- Some x;
+         pending := rest
+       | [] -> regs.(0) <- None
+     else regs.(0) <- None);
+    incr cycle
+  done;
+  {
+    outputs = List.rev !delivered;
+    cycles = !cycle;
+    max_occupancy = Fifo.max_occupancy skid;
+    overflow = Fifo.overflowed skid;
+  }
+
+let throughput r =
+  if r.cycles = 0 then 0.
+  else float_of_int (List.length r.outputs) /. float_of_int r.cycles

@@ -1,0 +1,54 @@
+(** Cycle-accurate models of the two pipeline-control disciplines of §3.3 /
+    §4.3, used to validate the paper's functional claims:
+
+    - stall control and skid control produce the *same output stream* and
+      the *same throughput* under any downstream back-pressure pattern;
+    - with skid depth >= N + 1 + ctrl_delay no overflow occurs, where
+      [ctrl_delay] is the number of register stages on the back-pressure
+      path (the paper's N+1 is the ctrl_delay = 0 case);
+    - shallower buffers can overflow under adversarial back-pressure. *)
+
+type 'b result = {
+  outputs : 'b list;  (** tokens delivered downstream, in order *)
+  cycles : int;  (** cycles until the pipeline fully drained *)
+  max_occupancy : int;  (** skid high-water mark (0 for stall control) *)
+  overflow : bool;  (** a skid push was dropped — sizing violated *)
+}
+
+val run_stall :
+  stages:int ->
+  inputs:'a list ->
+  ready:(int -> bool) ->
+  f:('a -> 'b) ->
+  'b result
+(** Classic broadcast-stall control: when the output side cannot accept
+    data, *every* stage freezes in place. [ready cycle] is the downstream's
+    willingness to consume on that cycle; [f] is the pipeline's function.
+    Raises [Invalid_argument] if [stages < 1]. *)
+
+type gate =
+  | Gate_empty
+      (** §4.3 literally: stop reading while the buffer is non-empty. Safe
+          iff depth >= N + 1 + ctrl_delay; can starve briefly after long
+          freezes. *)
+  | Gate_credit
+      (** watermark/credit flow control (the Hyperflex-handbook practice
+          the paper cites): admit while the buffer still has room for all
+          data in flight. Never overflows; with depth >= 2(N+1+delay) it
+          matches stall control's throughput exactly. *)
+
+val run_skid :
+  stages:int ->
+  skid_depth:int ->
+  ctrl_delay:int ->
+  gate:gate ->
+  inputs:'a list ->
+  ready:(int -> bool) ->
+  f:('a -> 'b) ->
+  'b result
+(** Always-flowing pipeline with a valid bit per datum and a skid FIFO at
+    the end, under the chosen read-gate discipline. [ctrl_delay] registers
+    sit on the back-pressure observation path (0 = combinational). *)
+
+val throughput : 'b result -> float
+(** Delivered tokens per cycle. *)

@@ -1,0 +1,24 @@
+(** Deterministic splittable PRNG (SplitMix64). Experiments must be
+    reproducible run-to-run, so all randomness in the backend flows from
+    explicit seeds rather than global state. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded from the given integer. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s current state; [t]
+    advances. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal deviate. *)

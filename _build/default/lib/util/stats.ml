@@ -1,0 +1,62 @@
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] -> invalid_arg "Stats.stddev: empty"
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let percentile p xs =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+
+let smooth_neighbors ~window xs =
+  if window < 0 then invalid_arg "Stats.smooth_neighbors: negative window";
+  let n = Array.length xs in
+  Array.init n (fun i ->
+    let lo = max 0 (i - window) and hi = min (n - 1) (i + window) in
+    let sum = ref 0. in
+    for j = lo to hi do
+      sum := !sum +. xs.(j)
+    done;
+    !sum /. float_of_int (hi - lo + 1))
+
+let total_variation xs =
+  let acc = ref 0. in
+  for i = 1 to Array.length xs - 1 do
+    acc := !acc +. abs_float (xs.(i) -. xs.(i - 1))
+  done;
+  !acc
+
+let geometric_mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geometric_mean: empty"
+  | _ ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0. then invalid_arg "Stats.geometric_mean: non-positive"
+          else acc +. log x)
+        0. xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))

@@ -1,0 +1,28 @@
+(** Small statistics helpers used by delay characterization and reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. Raises [Invalid_argument] on the empty
+    list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile (0. <= p <= 100.) of [xs]
+    using linear interpolation between closest ranks. Raises
+    [Invalid_argument] on the empty list or out-of-range [p]. *)
+
+val smooth_neighbors : window:int -> float array -> float array
+(** [smooth_neighbors ~window xs] averages each point with up to [window]
+    neighbours on each side (a centered moving average, truncated at the
+    boundaries). [window = 0] is the identity. Used to suppress the random
+    noise of the heuristic backend when characterizing broadcast delays
+    (paper section 4.1). Raises [Invalid_argument] if [window < 0]. *)
+
+val total_variation : float array -> float
+(** Sum of absolute successive differences; smoothing should not increase
+    it. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values. Raises [Invalid_argument] on the
+    empty list or non-positive entries. *)

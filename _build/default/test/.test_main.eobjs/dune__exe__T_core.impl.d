@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Core Dag Dtype Hlsb_ctrl Hlsb_designs Hlsb_device Hlsb_ir Hlsb_netlist Hlsb_rtlgen Kernel List Op Option String

@@ -1,0 +1,1 @@
+test/t_ctrl.ml: Alcotest Array Dataflow Dtype Gen Hlsb_ctrl Hlsb_ir Hlsb_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/t_delay.ml: Alcotest Array Dtype Hlsb_delay Hlsb_device Hlsb_ir List Op Printf

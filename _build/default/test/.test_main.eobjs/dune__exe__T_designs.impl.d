@@ -1,0 +1,1 @@
+test/t_designs.ml: Alcotest Array Dag Dataflow Hlsb_ctrl Hlsb_designs Hlsb_device Hlsb_ir Hlsb_netlist Hlsb_rtlgen Kernel List

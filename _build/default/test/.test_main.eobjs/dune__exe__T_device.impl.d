@@ -1,0 +1,1 @@
+test/t_device.ml: Alcotest Hlsb_device List

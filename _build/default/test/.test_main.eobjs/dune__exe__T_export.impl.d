@@ -1,0 +1,1 @@
+test/t_export.ml: Alcotest Core Hlsb_ctrl Hlsb_designs Hlsb_netlist Hlsb_rtlgen List Option Printf String

@@ -1,0 +1,1 @@
+test/t_frontend.ml: Alcotest Array Core Dag Dataflow Hlsb_ctrl Hlsb_device Hlsb_frontend Hlsb_ir Kernel List Op

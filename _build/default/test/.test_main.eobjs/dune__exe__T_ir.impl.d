@@ -1,0 +1,1 @@
+test/t_ir.ml: Alcotest Array Dag Dataflow Dtype Hlsb_ir Kernel List Op Printf Transform

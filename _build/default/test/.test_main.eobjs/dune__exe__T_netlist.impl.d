@@ -1,0 +1,1 @@
+test/t_netlist.ml: Alcotest Array Hlsb_device Hlsb_netlist List Printf

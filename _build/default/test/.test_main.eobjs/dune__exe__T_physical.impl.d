@@ -1,0 +1,1 @@
+test/t_physical.ml: Alcotest Hlsb_device Hlsb_netlist Hlsb_physical List Printf QCheck QCheck_alcotest

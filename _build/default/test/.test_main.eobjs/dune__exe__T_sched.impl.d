@@ -1,0 +1,1 @@
+test/t_sched.ml: Alcotest Array Dag Dtype Hlsb_delay Hlsb_designs Hlsb_device Hlsb_ir Hlsb_sched Kernel List Op Printf String Transform

@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest Array Dataflow Dtype Fun Hlsb_ctrl Hlsb_ir Hlsb_sim Hlsb_util List Printf QCheck QCheck_alcotest

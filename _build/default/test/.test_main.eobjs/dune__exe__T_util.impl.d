@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Gen Hlsb_util List QCheck QCheck_alcotest String

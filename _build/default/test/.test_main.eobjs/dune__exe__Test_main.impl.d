@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_core T_ctrl T_delay T_designs T_device T_export T_frontend T_ir T_netlist T_physical T_rtlgen T_sched T_sim T_util

@@ -1,0 +1,179 @@
+(* Delay library tests: the Fig. 9 properties of the HLS prediction, the
+   skeleton characterization, and the calibration rule. *)
+
+open Hlsb_ir
+module Oplib = Hlsb_delay.Oplib
+module Characterize = Hlsb_delay.Characterize
+module Calibrate = Hlsb_delay.Calibrate
+module Device = Hlsb_device.Device
+
+let dev = Device.ultrascale_plus
+let i32 = Dtype.Int 32
+
+let test_predicted_fanout_blind () =
+  (* the defining limitation of the HLS model (section 2): the same number
+     no matter the environment — it does not even take a fanout argument,
+     and must be strictly positive for datapath ops *)
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Op.to_string op ^ " positive")
+        true
+        (Oplib.predicted op i32 > 0.))
+    [ Op.Add; Op.Mul; Op.Icmp Op.Lt; Op.Select; Op.Log2 ]
+
+let test_predicted_magnitudes () =
+  (* the paper quotes sub at 0.78 ns on UltraScale+ *)
+  let sub = Oplib.predicted Op.Sub i32 in
+  Alcotest.(check bool) "sub ~ 0.78ns" true (sub > 0.6 && sub < 0.95);
+  (* wider adders are slower *)
+  Alcotest.(check bool) "width matters" true
+    (Oplib.predicted Op.Add (Dtype.Int 64) > Oplib.predicted Op.Add (Dtype.Int 8))
+
+let test_float_conservative () =
+  (* Fig. 9: the vendor model is deliberately conservative for fmul: the
+     prediction exceeds the measured delay at small factors *)
+  let pred = Oplib.predicted Op.Fmul Dtype.Float32 in
+  let measured = Characterize.arith dev Op.Fmul Dtype.Float32 ~factor:1 in
+  Alcotest.(check bool) "prediction above reality" true (pred > measured)
+
+let test_int_prediction_matches_small_factor () =
+  (* Fig. 9: "the delay values obtained by our experiments perfectly match
+     with the Vivado-HLS-predicted values when the broadcast factor is
+     small" *)
+  let pred = Oplib.predicted Op.Add i32 in
+  let measured = Characterize.arith dev Op.Add i32 ~factor:1 in
+  Alcotest.(check bool) "within 20%" true
+    (abs_float (measured -. pred) /. pred < 0.2)
+
+let test_measured_grows_with_factor () =
+  let m1 = Characterize.arith dev Op.Add i32 ~factor:1 in
+  let m64 = Characterize.arith dev Op.Add i32 ~factor:64 in
+  let m512 = Characterize.arith dev Op.Add i32 ~factor:512 in
+  Alcotest.(check bool) "64 > 1" true (m64 > m1 *. 1.3);
+  Alcotest.(check bool) "512 > 64" true (m512 > m64)
+
+let test_latency_cycles () =
+  Alcotest.(check int) "add comb" 0 (Oplib.latency_cycles Op.Add i32);
+  Alcotest.(check bool) "fadd pipelined" true
+    (Oplib.latency_cycles Op.Fadd Dtype.Float32 >= 3);
+  Alcotest.(check bool) "f64 deeper" true
+    (Oplib.latency_cycles Op.Fadd Dtype.Float64
+    > Oplib.latency_cycles Op.Fadd Dtype.Float32)
+
+let test_stage_delay_divides () =
+  let full = Oplib.logic_delay dev Op.Fmul Dtype.Float32 in
+  let stage = Oplib.stage_delay dev Op.Fmul Dtype.Float32 in
+  let lat = Oplib.latency_cycles Op.Fmul Dtype.Float32 in
+  Alcotest.(check (float 1e-9)) "stage = full / (lat+1)"
+    (full /. float_of_int (lat + 1))
+    stage
+
+let test_mem_measured_grows_with_units () =
+  let m1 = Characterize.mem_write dev ~units:1 in
+  let m256 = Characterize.mem_write dev ~units:256 in
+  Alcotest.(check bool) "grows" true (m256 > m1 *. 2.)
+
+let test_mem_read_grows () =
+  let r1 = Characterize.mem_read dev ~units:1 in
+  let r256 = Characterize.mem_read dev ~units:256 in
+  Alcotest.(check bool) "grows" true (r256 > r1)
+
+let test_calibrated_at_least_predicted () =
+  let cal = Calibrate.create dev in
+  List.iter
+    (fun factor ->
+      let c = Calibrate.op_delay cal Op.Add i32 ~factor in
+      Alcotest.(check bool)
+        (Printf.sprintf "factor %d" factor)
+        true
+        (c >= Oplib.predicted Op.Add i32 -. 1e-9))
+    [ 1; 3; 17; 100; 512; 2000 ]
+
+let test_calibrated_monotone_smoothed () =
+  let cal = Calibrate.create dev in
+  let big = Calibrate.op_delay cal Op.Add i32 ~factor:512 in
+  let small = Calibrate.op_delay cal Op.Add i32 ~factor:1 in
+  Alcotest.(check bool) "more broadcast, more delay" true (big > small)
+
+let test_calibrated_interpolation () =
+  (* a factor between grid points must land between the grid values *)
+  let cal = Calibrate.create dev in
+  let f32v = Calibrate.op_delay cal Op.Add i32 ~factor:32 in
+  let f64v = Calibrate.op_delay cal Op.Add i32 ~factor:64 in
+  let f48 = Calibrate.op_delay cal Op.Add i32 ~factor:48 in
+  let lo = min f32v f64v -. 1e-9 and hi = max f32v f64v +. 1e-9 in
+  Alcotest.(check bool) "between neighbours" true (f48 >= lo && f48 <= hi)
+
+let test_calibrated_clamps () =
+  let cal = Calibrate.create dev in
+  let at_max = Calibrate.op_delay cal Op.Add i32 ~factor:512 in
+  let beyond = Calibrate.op_delay cal Op.Add i32 ~factor:100000 in
+  Alcotest.(check (float 1e-9)) "clamped beyond grid" at_max beyond
+
+let test_mem_calibrated_floor () =
+  let cal = Calibrate.create dev in
+  let tiny = Calibrate.mem_write_delay cal ~width:8 ~depth:16 in
+  Alcotest.(check bool) "floor is the HLS prediction" true
+    (tiny >= Oplib.mem_write_predicted -. 1e-9)
+
+let test_mem_calibrated_grows () =
+  let cal = Calibrate.create dev in
+  let small = Calibrate.mem_write_delay cal ~width:32 ~depth:1024 in
+  let big = Calibrate.mem_write_delay cal ~width:512 ~depth:131072 in
+  Alcotest.(check bool) "big buffer slower" true (big > small)
+
+let test_curve_rows_shape () =
+  let cal = Calibrate.create dev in
+  let rows = Calibrate.op_curve cal Op.Add i32 in
+  Alcotest.(check int) "one row per grid point"
+    (Array.length Calibrate.factor_grid)
+    (List.length rows);
+  List.iter
+    (fun (r : Calibrate.curve_row) ->
+      Alcotest.(check bool) "calibrated >= predicted" true
+        (r.Calibrate.cr_calibrated >= r.Calibrate.cr_predicted -. 1e-9))
+    rows
+
+let test_shared_cache () =
+  let a = Calibrate.shared dev in
+  let b = Calibrate.shared dev in
+  Alcotest.(check bool) "same instance" true (a == b)
+
+let test_invalid_factor () =
+  let cal = Calibrate.create dev in
+  Alcotest.check_raises "factor 0"
+    (Invalid_argument "Calibrate.op_delay: factor < 1") (fun () ->
+      ignore (Calibrate.op_delay cal Op.Add i32 ~factor:0))
+
+let test_device_scaling () =
+  (* the same op is slower on the older, slower fabric *)
+  let us = Oplib.logic_delay Device.ultrascale_plus Op.Add i32 in
+  let z = Oplib.logic_delay Device.zynq_7z045 Op.Add i32 in
+  Alcotest.(check bool) "zynq slower" true (z > us)
+
+let suite =
+  [
+    Alcotest.test_case "prediction fanout-blind" `Quick test_predicted_fanout_blind;
+    Alcotest.test_case "prediction magnitudes" `Quick test_predicted_magnitudes;
+    Alcotest.test_case "float conservative" `Quick test_float_conservative;
+    Alcotest.test_case "int matches at small factor" `Quick
+      test_int_prediction_matches_small_factor;
+    Alcotest.test_case "measured grows with factor" `Quick
+      test_measured_grows_with_factor;
+    Alcotest.test_case "latency cycles" `Quick test_latency_cycles;
+    Alcotest.test_case "stage delay divides" `Quick test_stage_delay_divides;
+    Alcotest.test_case "mem write grows" `Quick test_mem_measured_grows_with_units;
+    Alcotest.test_case "mem read grows" `Quick test_mem_read_grows;
+    Alcotest.test_case "calibrated >= predicted" `Quick
+      test_calibrated_at_least_predicted;
+    Alcotest.test_case "calibrated monotone" `Quick test_calibrated_monotone_smoothed;
+    Alcotest.test_case "calibrated interpolates" `Quick test_calibrated_interpolation;
+    Alcotest.test_case "calibrated clamps" `Quick test_calibrated_clamps;
+    Alcotest.test_case "mem floor" `Quick test_mem_calibrated_floor;
+    Alcotest.test_case "mem grows" `Quick test_mem_calibrated_grows;
+    Alcotest.test_case "curve rows" `Quick test_curve_rows_shape;
+    Alcotest.test_case "shared cache" `Quick test_shared_cache;
+    Alcotest.test_case "invalid factor" `Quick test_invalid_factor;
+    Alcotest.test_case "device scaling" `Quick test_device_scaling;
+  ]

@@ -1,0 +1,136 @@
+(* Benchmark-generator tests: every Table-1 design builds, validates, has
+   the broadcast structure its paper row claims, and fits its device. *)
+
+open Hlsb_ir
+module Spec = Hlsb_designs.Spec
+module Suite = Hlsb_designs.Suite
+module Device = Hlsb_device.Device
+module Netlist = Hlsb_netlist.Netlist
+module Design = Hlsb_rtlgen.Design
+module Style = Hlsb_ctrl.Style
+
+let test_nine_designs () =
+  Alcotest.(check int) "nine benchmarks" 9 (List.length Suite.all)
+
+let test_find () =
+  Alcotest.(check bool) "stencil present" true (Suite.find "Stencil" <> None);
+  Alcotest.(check bool) "unknown absent" true (Suite.find "nope" = None)
+
+let test_all_networks_validate () =
+  List.iter
+    (fun (s : Spec.t) ->
+      match Dataflow.validate (s.Spec.sp_build ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (s.Spec.sp_name ^ ": " ^ e))
+    Suite.all
+
+let test_paper_rows_sane () =
+  List.iter
+    (fun (s : Spec.t) ->
+      let o, p = s.Spec.sp_paper.Spec.p_freq in
+      Alcotest.(check bool) (s.Spec.sp_name ^ " freq gain") true (p > o))
+    Suite.all
+
+let test_genome_broadcast_structure () =
+  let k = Hlsb_designs.Genome.kernel ~back_search_count:32 ~lane:0 () in
+  let dag = k.Kernel.dag in
+  (* some value (curr.x/y slices) must be read 32 times *)
+  let max_reads = ref 0 in
+  Dag.iter dag (fun v -> max_reads := max !max_reads (Dag.broadcast_factor dag v));
+  Alcotest.(check bool) "32-way data broadcast" true (!max_reads >= 32)
+
+let test_genome_lane_scaling () =
+  let small = Hlsb_designs.Genome.kernel ~back_search_count:8 ~lane:0 () in
+  let big = Hlsb_designs.Genome.kernel ~back_search_count:64 ~lane:0 () in
+  Alcotest.(check bool) "unroll scales node count" true
+    (Dag.n_nodes big.Kernel.dag > 4 * Dag.n_nodes small.Kernel.dag)
+
+let test_stream_buffer_bram_bound () =
+  let df = Hlsb_designs.Stream_buffer.dataflow () in
+  let des =
+    Design.generate ~device:Device.ultrascale_plus ~recipe:Style.original
+      ~name:"sb" df
+  in
+  let _, _, bram, _ = Netlist.utilization des.Design.netlist Device.ultrascale_plus in
+  (* the paper's row: 95% BRAM; ours must be large and below 100% *)
+  Alcotest.(check bool) "BRAM-dominated" true (bram > 0.5 && bram <= 1.0)
+
+let test_stencil_depth_scales () =
+  let d1 =
+    Design.single_kernel ~device:Device.ultrascale_plus ~recipe:Style.original
+      (Hlsb_designs.Stencil.kernel ~iterations:1 ())
+  in
+  let d4 =
+    Design.single_kernel ~device:Device.ultrascale_plus ~recipe:Style.original
+      (Hlsb_designs.Stencil.kernel ~iterations:4 ())
+  in
+  let depth (d : Design.t) =
+    List.fold_left (fun acc k -> acc + k.Design.ki_depth) 0 d.Design.kernels
+  in
+  Alcotest.(check bool) "deeper super-pipeline" true (depth d4 > 2 * depth d1)
+
+let test_hbm_sync_group () =
+  let df = Hlsb_designs.Hbm_stencil.dataflow ~ports:12 () in
+  (match Dataflow.sync_groups df with
+  | [ g ] -> Alcotest.(check int) "all ports glued" 12 (List.length g)
+  | _ -> Alcotest.fail "expected one sync group");
+  (* the flows are channel-independent: pruning splits them all *)
+  let pruned = Hlsb_ctrl.Sync.split_independent df in
+  Alcotest.(check int) "pruned to one group per port" 12
+    (List.length (Dataflow.sync_groups pruned))
+
+let test_vector_sync_connected () =
+  (* vector arith's PEs all feed the combiner: one connectivity component,
+     so case-1 splitting alone cannot help; case-2 (latency) pruning must *)
+  let df = Hlsb_designs.Vector_arith.dataflow ~width:64 ~pes:4 () in
+  let pruned = Hlsb_ctrl.Sync.split_independent df in
+  Alcotest.(check int) "still one group" 1
+    (List.length (Dataflow.sync_groups pruned));
+  match Dataflow.sync_groups df with
+  | [ g ] ->
+    let w = Hlsb_ctrl.Sync.longest_latency_wait df g in
+    Alcotest.(check bool) "latency pruning drops members" true
+      (List.length w.Hlsb_ctrl.Sync.skipped > 0)
+  | _ -> Alcotest.fail "expected one group"
+
+let test_pattern_pe_latencies_differ () =
+  let df = Hlsb_designs.Pattern_match.dataflow ~pes:8 () in
+  let lats =
+    Array.to_list (Dataflow.processes df)
+    |> List.filter_map (fun p -> p.Dataflow.p_latency)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "heterogeneous latencies" true (List.length lats > 1)
+
+let test_all_fit_their_devices () =
+  (* the expensive end-to-end check: both recipes of every benchmark
+     place successfully on the paper's device *)
+  List.iter
+    (fun (s : Spec.t) ->
+      List.iter
+        (fun recipe ->
+          let des =
+            Design.generate ~device:s.Spec.sp_device ~recipe
+              ~name:s.Spec.sp_name (s.Spec.sp_build ())
+          in
+          match Netlist.validate des.Design.netlist with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (s.Spec.sp_name ^ ": " ^ e))
+        [ Style.original; Style.optimized ])
+    Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "nine designs" `Quick test_nine_designs;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "networks validate" `Quick test_all_networks_validate;
+    Alcotest.test_case "paper rows sane" `Quick test_paper_rows_sane;
+    Alcotest.test_case "genome broadcast" `Quick test_genome_broadcast_structure;
+    Alcotest.test_case "genome scaling" `Quick test_genome_lane_scaling;
+    Alcotest.test_case "stream buffer bram" `Quick test_stream_buffer_bram_bound;
+    Alcotest.test_case "stencil depth scales" `Quick test_stencil_depth_scales;
+    Alcotest.test_case "hbm sync group" `Quick test_hbm_sync_group;
+    Alcotest.test_case "vector sync structure" `Quick test_vector_sync_connected;
+    Alcotest.test_case "pattern latencies" `Quick test_pattern_pe_latencies_differ;
+    Alcotest.test_case "all fit devices" `Slow test_all_fit_their_devices;
+  ]

@@ -1,0 +1,257 @@
+(* Netlist structure tests: cells, nets, validation, macros, and the shared
+   structures (memory banks, AND trees, fanout trees). *)
+
+module Netlist = Hlsb_netlist.Netlist
+module Macro = Hlsb_netlist.Macro
+module Structs = Hlsb_netlist.Structs
+module Device = Hlsb_device.Device
+
+let dev = Device.ultrascale_plus
+
+let reg nl name = Structs.add_register nl ~name ~width:32
+
+let test_add_cells_nets () =
+  let nl = Netlist.create ~name:"t" in
+  let a = reg nl "a" in
+  let b = reg nl "b" in
+  let n = Netlist.add_net nl ~name:"ab" ~driver:a ~sinks:[ b ] ~width:32 () in
+  Alcotest.(check int) "cells" 2 (Netlist.n_cells nl);
+  Alcotest.(check int) "nets" 1 (Netlist.n_nets nl);
+  Alcotest.(check int) "fanout" 1 (Netlist.fanout nl n);
+  Alcotest.(check string) "net name" "ab" (Netlist.net nl n).Netlist.n_name
+
+let test_net_checks () =
+  let nl = Netlist.create ~name:"t" in
+  let a = reg nl "a" in
+  Alcotest.(check bool) "bad sink" true
+    (try ignore (Netlist.add_net nl ~name:"x" ~driver:a ~sinks:[ 7 ] ~width:1 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad width" true
+    (try ignore (Netlist.add_net nl ~name:"x" ~driver:a ~sinks:[] ~width:0 ()); false
+     with Invalid_argument _ -> true);
+  let port =
+    Netlist.add_cell nl ~name:"o" ~kind:Netlist.Port_out ~delay:0.
+      ~res:Netlist.zero_res
+  in
+  Alcotest.(check bool) "port cannot drive" true
+    (try ignore (Netlist.add_net nl ~name:"x" ~driver:port ~sinks:[ a ] ~width:1 ()); false
+     with Invalid_argument _ -> true)
+
+let test_max_fanout_by_class () =
+  let nl = Netlist.create ~name:"t" in
+  let a = reg nl "a" in
+  let sinks = List.init 10 (fun i -> reg nl (Printf.sprintf "s%d" i)) in
+  ignore
+    (Netlist.add_net nl ~cls:Netlist.Ctrl_pipeline ~name:"stall" ~driver:a
+       ~sinks ~width:1 ());
+  ignore (Netlist.add_net nl ~name:"d" ~driver:a ~sinks:[ List.hd sinks ] ~width:1 ());
+  (match Netlist.max_fanout_net nl () with
+  | Some (_, n) -> Alcotest.(check int) "overall max" 10 (Array.length n.Netlist.n_sinks)
+  | None -> Alcotest.fail "no nets");
+  match Netlist.max_fanout_net nl ~cls:Netlist.Data () with
+  | Some (_, n) -> Alcotest.(check int) "data max" 1 (Array.length n.Netlist.n_sinks)
+  | None -> Alcotest.fail "no data nets"
+
+let test_resources_accumulate () =
+  let nl = Netlist.create ~name:"t" in
+  ignore
+    (Netlist.add_cell nl ~name:"m" ~kind:Netlist.Comb ~delay:1.
+       ~res:(Macro.float_mul `F32));
+  ignore (reg nl "r");
+  let r = Netlist.total_resources nl in
+  Alcotest.(check int) "dsp" 3 r.Netlist.r_dsps;
+  Alcotest.(check int) "ff" (90 + 32) r.Netlist.r_ffs
+
+let test_utilization () =
+  let nl = Netlist.create ~name:"t" in
+  ignore
+    (Netlist.add_cell nl ~name:"big" ~kind:Netlist.Comb ~delay:1.
+       ~res:{ Netlist.zero_res with Netlist.r_luts = dev.Device.luts / 2 });
+  let lut, _, _, _ = Netlist.utilization nl dev in
+  Alcotest.(check (float 0.01)) "half the luts" 0.5 lut
+
+let test_validate_comb_cycle () =
+  let nl = Netlist.create ~name:"t" in
+  let c1 =
+    Netlist.add_cell nl ~name:"c1" ~kind:Netlist.Comb ~delay:0.1
+      ~res:Netlist.zero_res
+  in
+  let c2 =
+    Netlist.add_cell nl ~name:"c2" ~kind:Netlist.Comb ~delay:0.1
+      ~res:Netlist.zero_res
+  in
+  ignore (Netlist.add_net nl ~name:"a" ~driver:c1 ~sinks:[ c2 ] ~width:1 ());
+  ignore (Netlist.add_net nl ~name:"b" ~driver:c2 ~sinks:[ c1 ] ~width:1 ());
+  Alcotest.(check bool) "cycle flagged" true
+    (match Netlist.validate nl with Error _ -> true | Ok () -> false)
+
+let test_validate_seq_feedback_ok () =
+  (* feedback through a register is legal *)
+  let nl = Netlist.create ~name:"t" in
+  let r = reg nl "r" in
+  let c =
+    Netlist.add_cell nl ~name:"c" ~kind:Netlist.Comb ~delay:0.1
+      ~res:Netlist.zero_res
+  in
+  ignore (Netlist.add_net nl ~name:"a" ~driver:r ~sinks:[ c ] ~width:1 ());
+  ignore (Netlist.add_net nl ~name:"b" ~driver:c ~sinks:[ r ] ~width:1 ());
+  match Netlist.validate nl with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_merge () =
+  let a = Netlist.create ~name:"a" in
+  let b = Netlist.create ~name:"b" in
+  let r1 = reg a "r1" in
+  ignore r1;
+  let r2 = reg b "r2" in
+  let r3 = reg b "r3" in
+  ignore (Netlist.add_net b ~name:"n" ~driver:r2 ~sinks:[ r3 ] ~width:32 ());
+  let cell_map, net_map = Netlist.merge a b in
+  Alcotest.(check int) "total cells" 3 (Netlist.n_cells a);
+  Alcotest.(check int) "total nets" 1 (Netlist.n_nets a);
+  let n = Netlist.net a net_map.(0) in
+  Alcotest.(check int) "driver remapped" cell_map.(0) n.Netlist.n_driver
+
+(* ---- Macro ---- *)
+
+let test_macro_int_mul () =
+  let r = Macro.int_mul 32 in
+  Alcotest.(check int) "32x32 needs 4 dsp48" 4 r.Netlist.r_dsps;
+  let r18 = Macro.int_mul 18 in
+  Alcotest.(check int) "18x18 fits one" 1 r18.Netlist.r_dsps
+
+let test_macro_fifo_mapping () =
+  let small = Macro.fifo ~width:8 ~depth:16 in
+  Alcotest.(check int) "small fifo uses no bram" 0 small.Netlist.r_bram18;
+  let big = Macro.fifo ~width:512 ~depth:128 in
+  Alcotest.(check bool) "big fifo uses bram" true (big.Netlist.r_bram18 > 0)
+
+let test_macro_and_tree_levels () =
+  Alcotest.(check int) "1 input" 0 (Macro.and_tree_levels 1);
+  Alcotest.(check int) "6 inputs" 1 (Macro.and_tree_levels 6);
+  Alcotest.(check int) "7 inputs" 2 (Macro.and_tree_levels 7);
+  Alcotest.(check int) "36 inputs" 2 (Macro.and_tree_levels 36);
+  Alcotest.(check int) "216" 3 (Macro.and_tree_levels 216)
+
+let test_macro_register () =
+  Alcotest.(check int) "ffs" 48 (Macro.register 48).Netlist.r_ffs
+
+(* ---- Structs ---- *)
+
+let test_membank_units () =
+  let nl = Netlist.create ~name:"t" in
+  let mb = Structs.add_membank dev nl ~name:"m" ~width:32 ~depth:4096 () in
+  let expected = Device.bram18_for ~width:32 ~depth:4096 in
+  Alcotest.(check int) "unit count" expected mb.Structs.mb_n_units;
+  Alcotest.(check int) "unit cells" expected (Array.length mb.Structs.mb_units);
+  (* each unit is exactly one BRAM18 *)
+  Array.iter
+    (fun u ->
+      Alcotest.(check int) "one bram each" 1
+        (Netlist.cell nl u).Netlist.c_res.Netlist.r_bram18)
+    mb.Structs.mb_units;
+  Alcotest.(check int) "comb read (no pipeline)" 0 mb.Structs.mb_read_latency
+
+let test_membank_read_pipeline () =
+  let nl = Netlist.create ~name:"t" in
+  let mb =
+    Structs.add_membank dev nl ~read_pipeline:true ~name:"m" ~width:32
+      ~depth:(512 * 300) ()
+  in
+  (* 300 units -> two cascade levels (16:1), both registered *)
+  Alcotest.(check bool) "read latency >= 2" true (mb.Structs.mb_read_latency >= 2)
+
+let test_membank_write_broadcast () =
+  let nl = Netlist.create ~name:"t" in
+  let mb = Structs.add_membank dev nl ~name:"m" ~width:32 ~depth:65536 () in
+  let src = Structs.add_register nl ~name:"src" ~width:32 in
+  let n = Structs.connect_write nl ~name:"w" ~driver:src mb ~width:32 in
+  Alcotest.(check int) "write fanout = units" mb.Structs.mb_n_units
+    (Netlist.fanout nl n);
+  Alcotest.(check bool) "classed as data broadcast" true
+    ((Netlist.net nl n).Netlist.n_class = Netlist.Data_broadcast)
+
+let test_and_tree_structure () =
+  let nl = Netlist.create ~name:"t" in
+  let inputs = List.init 20 (fun i -> Structs.add_register nl ~name:(Printf.sprintf "d%d" i) ~width:1) in
+  let cells_before = Netlist.n_cells nl in
+  let root = Structs.add_and_tree dev nl ~name:"sync" ~inputs in
+  Alcotest.(check bool) "root is new cell" true (root >= cells_before);
+  (* 20 -> 4 -> 1: 5 LUTs *)
+  Alcotest.(check int) "lut count" 5 (Netlist.n_cells nl - cells_before);
+  (* single input returns identity *)
+  let single = Structs.add_and_tree dev nl ~name:"s1" ~inputs:[ root ] in
+  Alcotest.(check int) "identity" root single
+
+let test_reg_chain () =
+  let nl = Netlist.create ~name:"t" in
+  let regs = Structs.add_reg_chain nl ~name:"c" ~width:8 ~length:5 in
+  Alcotest.(check int) "five regs" 5 (List.length regs);
+  Alcotest.(check int) "four links" 4 (Netlist.n_nets nl)
+
+let test_fanout_tree_reaches_all () =
+  let nl = Netlist.create ~name:"t" in
+  let src = Structs.add_register nl ~name:"src" ~width:16 in
+  let sinks = List.init 100 (fun i -> Structs.add_register nl ~name:(Printf.sprintf "k%d" i) ~width:16) in
+  let levels =
+    Structs.add_fanout_tree nl ~name:"ft" ~driver:src ~sinks ~width:16
+      ~levels:2 ~leaf_fanout:8
+  in
+  Alcotest.(check int) "levels" 2 levels;
+  (* every sink is reachable from src through nets *)
+  let n = Netlist.n_cells nl in
+  let adj = Array.make n [] in
+  Netlist.iter_nets nl (fun _ net ->
+    Array.iter
+      (fun s -> adj.(net.Netlist.n_driver) <- s :: adj.(net.Netlist.n_driver))
+      net.Netlist.n_sinks);
+  let seen = Array.make n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs adj.(v)
+    end
+  in
+  dfs src;
+  List.iter
+    (fun s -> Alcotest.(check bool) "sink reached" true seen.(s))
+    sinks;
+  (* leaf fanout bound respected *)
+  Netlist.iter_nets nl (fun _ net ->
+    Alcotest.(check bool) "fanout bounded" true
+      (Array.length net.Netlist.n_sinks <= 13))
+
+let test_fanout_tree_bad_args () =
+  let nl = Netlist.create ~name:"t" in
+  let src = Structs.add_register nl ~name:"s" ~width:1 in
+  Alcotest.(check bool) "no sinks" true
+    (try
+       ignore
+         (Structs.add_fanout_tree nl ~name:"f" ~driver:src ~sinks:[] ~width:1
+            ~levels:1 ~leaf_fanout:4);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "cells and nets" `Quick test_add_cells_nets;
+    Alcotest.test_case "net checks" `Quick test_net_checks;
+    Alcotest.test_case "max fanout by class" `Quick test_max_fanout_by_class;
+    Alcotest.test_case "resources accumulate" `Quick test_resources_accumulate;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "comb cycle flagged" `Quick test_validate_comb_cycle;
+    Alcotest.test_case "seq feedback legal" `Quick test_validate_seq_feedback_ok;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "macro int mul" `Quick test_macro_int_mul;
+    Alcotest.test_case "macro fifo mapping" `Quick test_macro_fifo_mapping;
+    Alcotest.test_case "macro and-tree levels" `Quick test_macro_and_tree_levels;
+    Alcotest.test_case "macro register" `Quick test_macro_register;
+    Alcotest.test_case "membank units" `Quick test_membank_units;
+    Alcotest.test_case "membank read pipeline" `Quick test_membank_read_pipeline;
+    Alcotest.test_case "membank write broadcast" `Quick test_membank_write_broadcast;
+    Alcotest.test_case "and tree structure" `Quick test_and_tree_structure;
+    Alcotest.test_case "reg chain" `Quick test_reg_chain;
+    Alcotest.test_case "fanout tree reaches all" `Quick test_fanout_tree_reaches_all;
+    Alcotest.test_case "fanout tree bad args" `Quick test_fanout_tree_bad_args;
+  ]

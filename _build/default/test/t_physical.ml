@@ -1,0 +1,271 @@
+(* Placement and static-timing tests — the properties the paper's analysis
+   rests on: locality of packed cells, sqrt-area growth of broadcast nets,
+   waypoint refinement of register chains, and STA correctness. *)
+
+module Netlist = Hlsb_netlist.Netlist
+module Structs = Hlsb_netlist.Structs
+module Placement = Hlsb_physical.Placement
+module Timing = Hlsb_physical.Timing
+module Device = Hlsb_device.Device
+
+let dev = Device.ultrascale_plus
+
+let reg ?(w = 32) nl name = Structs.add_register nl ~name ~width:w
+
+let test_place_inside_die () =
+  let nl = Netlist.create ~name:"t" in
+  for i = 0 to 499 do
+    ignore (reg nl (Printf.sprintf "r%d" i))
+  done;
+  let pl = Placement.place dev nl in
+  Alcotest.(check bool) "within die" true
+    (Placement.max_extent pl < float_of_int (max dev.Device.cols dev.Device.rows));
+  Alcotest.(check bool) "overlap free" true (Placement.overlap_free pl)
+
+let test_place_too_big () =
+  let nl = Netlist.create ~name:"t" in
+  ignore
+    (Netlist.add_cell nl ~name:"huge" ~kind:Netlist.Comb ~delay:0.
+       ~res:{ Netlist.zero_res with Netlist.r_luts = dev.Device.luts * 3 });
+  Alcotest.(check bool) "overflow detected" true
+    (try ignore (Placement.place dev nl); false with Failure _ -> true)
+
+let test_adjacent_cells_close () =
+  (* consecutively created cells land physically adjacent *)
+  let nl = Netlist.create ~name:"t" in
+  let a = reg nl "a" in
+  let b = reg nl "b" in
+  (* connect so refinement does not treat them as floating *)
+  ignore (Netlist.add_net nl ~name:"n" ~driver:a ~sinks:[ b ] ~width:32 ());
+  let pl = Placement.place dev nl in
+  let ax, ay = Placement.position pl a and bx, by = Placement.position pl b in
+  let dist = abs_float (ax -. bx) +. abs_float (ay -. by) in
+  Alcotest.(check bool) "adjacent" true (dist < 8.)
+
+let test_footprint_scales () =
+  let nl = Netlist.create ~name:"t" in
+  let small = reg nl "s" in
+  let big =
+    Netlist.add_cell nl ~name:"big" ~kind:Netlist.Comb ~delay:0.
+      ~res:{ Netlist.zero_res with Netlist.r_luts = 8000 }
+  in
+  let pl = Placement.place dev nl in
+  Alcotest.(check bool) "bigger footprint" true
+    (Placement.footprint_slices pl big > Placement.footprint_slices pl small)
+
+(* The load-bearing property: hpwl of a one-to-N net grows sublinearly
+   (sqrt-like) but definitely grows, when the N sinks are contiguous. *)
+let broadcast_hpwl n_sinks =
+  let nl = Netlist.create ~name:(Printf.sprintf "b%d" n_sinks) in
+  let src = reg nl "src" in
+  let sinks = List.init n_sinks (fun i -> reg nl (Printf.sprintf "s%d" i)) in
+  let net = Netlist.add_net nl ~name:"bc" ~driver:src ~sinks ~width:32 () in
+  let pl = Placement.place dev nl in
+  Placement.hpwl pl net
+
+let test_hpwl_grows_with_fanout () =
+  let h16 = broadcast_hpwl 16 in
+  let h256 = broadcast_hpwl 256 in
+  Alcotest.(check bool) "grows" true (h256 > h16 *. 1.5);
+  (* sublinear: 16x the sinks should cost well under 16x the wire *)
+  Alcotest.(check bool) "sublinear" true (h256 < h16 *. 10.)
+
+let test_register_chain_waypoints () =
+  (* a chain of registers between two anchors settles at spaced waypoints:
+     the largest hop is far below the end-to-end distance *)
+  let nl = Netlist.create ~name:"t" in
+  let src = reg nl "src" in
+  (* separate the endpoints with bulk cells *)
+  for i = 0 to 63 do
+    ignore
+      (Netlist.add_cell nl ~name:(Printf.sprintf "bulk%d" i) ~kind:Netlist.Comb
+         ~delay:0. ~res:{ Netlist.zero_res with Netlist.r_luts = 800 })
+  done;
+  let dst = reg nl "dst" in
+  let hops = Structs.add_reg_chain nl ~name:"chain" ~width:32 ~length:4 in
+  ignore (Netlist.add_net nl ~name:"in" ~driver:src ~sinks:[ List.hd hops ] ~width:32 ());
+  ignore
+    (Netlist.add_net nl ~name:"out"
+       ~driver:(List.nth hops 3)
+       ~sinks:[ dst ] ~width:32 ());
+  let pl = Placement.place dev nl in
+  let pos c = Placement.position pl c in
+  let dist (ax, ay) (bx, by) = abs_float (ax -. bx) +. abs_float (ay -. by) in
+  let total = dist (pos src) (pos dst) in
+  let chain = src :: hops @ [ dst ] in
+  let max_hop = ref 0. in
+  List.iteri
+    (fun i c ->
+      if i > 0 then
+        max_hop := max !max_hop (dist (pos (List.nth chain (i - 1))) (pos c)))
+    chain;
+  Alcotest.(check bool) "endpoints separated" true (total > 20.);
+  Alcotest.(check bool) "waypoints split the route" true
+    (!max_hop < total /. 2.)
+
+(* ---- Timing ---- *)
+
+let simple_pipe () =
+  (* r1 -> logic(1ns) -> r2 *)
+  let nl = Netlist.create ~name:"pipe" in
+  let r1 = reg nl "r1" in
+  let c =
+    Netlist.add_cell nl ~name:"logic" ~kind:Netlist.Comb ~delay:1.0
+      ~res:{ Netlist.zero_res with Netlist.r_luts = 8 }
+  in
+  let r2 = reg nl "r2" in
+  ignore (Netlist.add_net nl ~name:"a" ~driver:r1 ~sinks:[ c ] ~width:32 ());
+  ignore (Netlist.add_net nl ~name:"b" ~driver:c ~sinks:[ r2 ] ~width:32 ());
+  nl
+
+let test_sta_simple () =
+  let nl = simple_pipe () in
+  let r = Timing.run ~jitter:0. dev nl in
+  (* path = clk_q + net + logic + net + setup: at least logic + overheads *)
+  Alcotest.(check bool) "lower bound" true (r.Timing.critical_ns > 1.1);
+  Alcotest.(check bool) "upper bound" true (r.Timing.critical_ns < 2.5);
+  Alcotest.(check (float 1e-6)) "fmax consistent"
+    (1000. /. r.Timing.critical_ns) r.Timing.fmax_mhz
+
+let test_sta_empty_netlist () =
+  let nl = Netlist.create ~name:"empty" in
+  let r = Timing.run ~jitter:0. dev nl in
+  (* clock floor: clk_q + setup *)
+  Alcotest.(check (float 1e-6)) "floor"
+    (dev.Device.t_clk_q +. dev.Device.t_setup)
+    r.Timing.critical_ns
+
+let test_sta_deterministic () =
+  let nl = simple_pipe () in
+  let a = Timing.run dev nl in
+  let b = Timing.run dev nl in
+  Alcotest.(check (float 1e-9)) "same" a.Timing.critical_ns b.Timing.critical_ns
+
+let test_sta_jitter_seeded () =
+  let nl = simple_pipe () in
+  let a = Timing.run ~seed:1 dev nl in
+  let b = Timing.run ~seed:2 dev nl in
+  Alcotest.(check bool) "different seeds differ" true
+    (a.Timing.critical_ns <> b.Timing.critical_ns)
+
+let test_sta_chain_adds () =
+  (* two logic cells chained in one cycle cost more than one *)
+  let build n =
+    let nl = Netlist.create ~name:"chain" in
+    let r1 = reg nl "r1" in
+    let prev = ref r1 in
+    for i = 1 to n do
+      let c =
+        Netlist.add_cell nl ~name:(Printf.sprintf "c%d" i) ~kind:Netlist.Comb
+          ~delay:0.5 ~res:{ Netlist.zero_res with Netlist.r_luts = 4 }
+      in
+      ignore
+        (Netlist.add_net nl ~name:(Printf.sprintf "n%d" i) ~driver:!prev
+           ~sinks:[ c ] ~width:8 ());
+      prev := c
+    done;
+    let r2 = reg nl "r2" in
+    ignore (Netlist.add_net nl ~name:"end" ~driver:!prev ~sinks:[ r2 ] ~width:8 ());
+    (Timing.run ~jitter:0. dev nl).Timing.critical_ns
+  in
+  let one = build 1 and three = build 3 in
+  Alcotest.(check bool) "chaining accumulates" true (three > one +. 0.9)
+
+let test_sta_broadcast_slower () =
+  let build fanout =
+    let nl = Netlist.create ~name:"bc" in
+    let src = reg nl "src" in
+    let sinks = List.init fanout (fun i -> reg nl (Printf.sprintf "s%d" i)) in
+    ignore (Netlist.add_net nl ~name:"net" ~driver:src ~sinks ~width:32 ());
+    (Timing.run ~jitter:0. dev nl).Timing.critical_ns
+  in
+  Alcotest.(check bool) "fanout 256 slower than 2" true (build 256 > build 2 +. 0.3)
+
+let test_sta_cycle_fails () =
+  let nl = Netlist.create ~name:"cyc" in
+  let c1 = Netlist.add_cell nl ~name:"c1" ~kind:Netlist.Comb ~delay:0.1 ~res:Netlist.zero_res in
+  let c2 = Netlist.add_cell nl ~name:"c2" ~kind:Netlist.Comb ~delay:0.1 ~res:Netlist.zero_res in
+  ignore (Netlist.add_net nl ~name:"a" ~driver:c1 ~sinks:[ c2 ] ~width:1 ());
+  ignore (Netlist.add_net nl ~name:"b" ~driver:c2 ~sinks:[ c1 ] ~width:1 ());
+  Alcotest.(check bool) "cycle raises" true
+    (try ignore (Timing.run dev nl); false
+     with Failure _ -> true)
+
+let test_sta_path_realizable () =
+  (* re-walking the reported critical path reproduces the arrival times *)
+  let nl = simple_pipe () in
+  let pl = Placement.place dev nl in
+  let r = Timing.analyze ~jitter:0. dev nl pl in
+  let path = r.Timing.path in
+  Alcotest.(check bool) "path nonempty" true (List.length path >= 2);
+  let arrivals = List.map (fun s -> s.Timing.ps_arrival) path in
+  let sorted = List.sort compare arrivals in
+  Alcotest.(check (list (float 1e-9))) "monotone arrivals" sorted arrivals
+
+let test_sta_ports_not_endpoints () =
+  (* a slow path into an output port must not constrain the clock *)
+  let nl = Netlist.create ~name:"p" in
+  let r1 = reg nl "r1" in
+  let c =
+    Netlist.add_cell nl ~name:"slow" ~kind:Netlist.Comb ~delay:50.
+      ~res:Netlist.zero_res
+  in
+  let port =
+    Netlist.add_cell nl ~name:"o" ~kind:Netlist.Port_out ~delay:0.
+      ~res:Netlist.zero_res
+  in
+  ignore (Netlist.add_net nl ~name:"a" ~driver:r1 ~sinks:[ c ] ~width:1 ());
+  ignore (Netlist.add_net nl ~name:"b" ~driver:c ~sinks:[ port ] ~width:1 ());
+  let r = Timing.run ~jitter:0. dev nl in
+  Alcotest.(check bool) "port path ignored" true (r.Timing.critical_ns < 1.)
+
+let test_net_delay_monotone_fanout () =
+  let nl = Netlist.create ~name:"m" in
+  let src = reg nl "s" in
+  let s1 = reg nl "a" in
+  let s2 = reg nl "b" in
+  let n1 = Netlist.add_net nl ~name:"one" ~driver:src ~sinks:[ s1 ] ~width:8 () in
+  let n2 = Netlist.add_net nl ~name:"two" ~driver:src ~sinks:[ s1; s2 ] ~width:8 () in
+  let pl = Placement.place dev nl in
+  let d1 = Timing.net_delay dev nl pl ~jitter:0. ~seed:0 n1 in
+  let d2 = Timing.net_delay dev nl pl ~jitter:0. ~seed:0 n2 in
+  Alcotest.(check bool) "more sinks, more delay" true (d2 > d1)
+
+let prop_sta_monotone_in_cell_delay =
+  QCheck.Test.make ~count:30 ~name:"critical path monotone in logic delay"
+    QCheck.(float_range 0.1 3.0)
+    (fun d ->
+      let build delay =
+        let nl = Netlist.create ~name:"mono" in
+        let r1 = Structs.add_register nl ~name:"r1" ~width:8 in
+        let c =
+          Netlist.add_cell nl ~name:"c" ~kind:Netlist.Comb ~delay
+            ~res:Netlist.zero_res
+        in
+        let r2 = Structs.add_register nl ~name:"r2" ~width:8 in
+        ignore (Netlist.add_net nl ~name:"a" ~driver:r1 ~sinks:[ c ] ~width:8 ());
+        ignore (Netlist.add_net nl ~name:"b" ~driver:c ~sinks:[ r2 ] ~width:8 ());
+        (Timing.run ~jitter:0. dev nl).Timing.critical_ns
+      in
+      build (d +. 0.5) > build d)
+
+let suite =
+  [
+    Alcotest.test_case "place inside die" `Quick test_place_inside_die;
+    Alcotest.test_case "place too big" `Quick test_place_too_big;
+    Alcotest.test_case "adjacent cells close" `Quick test_adjacent_cells_close;
+    Alcotest.test_case "footprint scales" `Quick test_footprint_scales;
+    Alcotest.test_case "hpwl grows with fanout" `Quick test_hpwl_grows_with_fanout;
+    Alcotest.test_case "register chain waypoints" `Quick test_register_chain_waypoints;
+    Alcotest.test_case "sta simple pipe" `Quick test_sta_simple;
+    Alcotest.test_case "sta empty netlist" `Quick test_sta_empty_netlist;
+    Alcotest.test_case "sta deterministic" `Quick test_sta_deterministic;
+    Alcotest.test_case "sta jitter seeded" `Quick test_sta_jitter_seeded;
+    Alcotest.test_case "sta chain adds" `Quick test_sta_chain_adds;
+    Alcotest.test_case "sta broadcast slower" `Quick test_sta_broadcast_slower;
+    Alcotest.test_case "sta cycle fails" `Quick test_sta_cycle_fails;
+    Alcotest.test_case "sta path realizable" `Quick test_sta_path_realizable;
+    Alcotest.test_case "sta ports not endpoints" `Quick test_sta_ports_not_endpoints;
+    Alcotest.test_case "net delay monotone" `Quick test_net_delay_monotone_fanout;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_sta_monotone_in_cell_delay ]

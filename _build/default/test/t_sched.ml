@@ -1,0 +1,196 @@
+(* Scheduler tests: chaining correctness, broadcast-aware splitting,
+   register insertion, and the schedule report. *)
+
+open Hlsb_ir
+module Schedule = Hlsb_sched.Schedule
+module Report = Hlsb_sched.Report
+module Calibrate = Hlsb_delay.Calibrate
+module Device = Hlsb_device.Device
+
+let dev = Device.ultrascale_plus
+let i32 = Dtype.Int 32
+let cal () = Calibrate.shared dev
+let aware () = Schedule.Broadcast_aware (cal ())
+
+(* a chain of n dependent adds *)
+let chain_kernel n =
+  let dag = Dag.create () in
+  let a = Dag.input dag ~name:"a" ~dtype:i32 in
+  let b = Dag.input dag ~name:"b" ~dtype:i32 in
+  let rec go prev i =
+    if i = 0 then prev
+    else go (Dag.op dag Op.Add ~dtype:i32 [ prev; b ]) (i - 1)
+  in
+  ignore (Dag.output dag ~name:"r" ~value:(go a n));
+  Kernel.create ~name:(Printf.sprintf "chain%d" n) dag
+
+(* the Fig. 1 pattern: one shared value into [factor] adders, followed by
+   enough chained logic that underestimating the broadcast breaks a cycle *)
+let broadcast_kernel factor =
+  let dag = Dag.create () in
+  let src = Dag.input dag ~name:"src" ~dtype:i32 in
+  Transform.unrolled dag ~factor (fun j ->
+    let p = Dag.input dag ~name:(Printf.sprintf "p%d" j) ~dtype:i32 in
+    let s = Dag.op dag Op.Add ~dtype:i32 [ src; p ] in
+    let t = Dag.op dag Op.Sub ~dtype:i32 [ s; p ] in
+    let u = Dag.op dag Op.Abs ~dtype:i32 [ t ] in
+    ignore (Dag.output dag ~name:(Printf.sprintf "o%d" j) ~value:u));
+  Kernel.create ~name:(Printf.sprintf "bcast%d" factor) dag
+
+let test_deps_respected mode () =
+  let k = chain_kernel 20 in
+  let s = Schedule.run mode k in
+  let dag = k.Kernel.dag in
+  Dag.iter dag (fun v ->
+    List.iter
+      (fun a ->
+        Alcotest.(check bool) "consumer not before producer" true
+          (s.Schedule.entries.(v).Schedule.e_cycle >= s.Schedule.entries.(a).Schedule.e_cycle))
+      (Dag.args dag v))
+
+let test_chain_fits_target mode () =
+  let s = Schedule.run mode (chain_kernel 30) in
+  Alcotest.(check bool) "chains within target" true (Schedule.chain_ok s)
+
+let test_chaining_packs_ops () =
+  (* several cheap adds chain in one cycle: depth far below op count *)
+  let s = Schedule.run Schedule.Baseline (chain_kernel 12) in
+  Alcotest.(check bool) "chaining happened" true (s.Schedule.depth < 12);
+  Alcotest.(check bool) "but not everything in cycle 0" true (s.Schedule.depth > 1)
+
+let test_baseline_ignores_broadcast () =
+  (* the defining blindness: schedule of factor-64 same as factor-2 *)
+  let s2 = Schedule.run Schedule.Baseline (broadcast_kernel 2) in
+  let s64 = Schedule.run Schedule.Baseline (broadcast_kernel 64) in
+  Alcotest.(check int) "same depth regardless of broadcast" s2.Schedule.depth
+    s64.Schedule.depth
+
+let test_aware_adds_latency_for_broadcast () =
+  let s2 = Schedule.run (aware ()) (broadcast_kernel 2) in
+  let s64 = Schedule.run (aware ()) (broadcast_kernel 64) in
+  Alcotest.(check bool) "broadcast gets distribution stages" true
+    (s64.Schedule.depth > s2.Schedule.depth)
+
+let test_aware_inserts_registers () =
+  let s = Schedule.run (aware ()) (broadcast_kernel 64) in
+  Alcotest.(check bool) "registers inserted" true
+    (Schedule.registers_inserted s > 0);
+  let sb = Schedule.run Schedule.Baseline (broadcast_kernel 64) in
+  Alcotest.(check int) "baseline inserts none" 0 (Schedule.registers_inserted sb)
+
+let test_small_overhead () =
+  (* §5.2: pipeline 9 -> 10; our overhead should also be ~1-3 stages *)
+  let sb = Schedule.run Schedule.Baseline (broadcast_kernel 64) in
+  let sa = Schedule.run (aware ()) (broadcast_kernel 64) in
+  Alcotest.(check bool) "modest depth cost" true
+    (sa.Schedule.depth - sb.Schedule.depth <= 4)
+
+let test_float_latency () =
+  let dag = Dag.create () in
+  let a = Dag.input dag ~name:"a" ~dtype:Dtype.Float32 in
+  let b = Dag.input dag ~name:"b" ~dtype:Dtype.Float32 in
+  let m = Dag.op dag Op.Fmul ~dtype:Dtype.Float32 [ a; b ] in
+  ignore (Dag.output dag ~name:"r" ~value:m);
+  let s = Schedule.run Schedule.Baseline (Kernel.create ~name:"f" dag) in
+  Alcotest.(check bool) "fmul takes its pipeline cycles" true
+    (Schedule.finish_cycle s m >= 3)
+
+let test_mem_min_distribution () =
+  (* stores to multi-unit buffers always get distribution stages (aware) *)
+  let dag = Dag.create () in
+  let buf = Dag.add_buffer dag ~name:"big" ~dtype:(Dtype.Uint 512) ~depth:65536 ~partition:1 in
+  let i = Dag.input dag ~name:"i" ~dtype:i32 in
+  let v = Dag.input dag ~name:"v" ~dtype:(Dtype.Uint 512) in
+  let st = Dag.store dag ~buffer:buf ~index:i ~value:v in
+  let k = Kernel.create ~name:"st" dag in
+  let s = Schedule.run (aware ()) k in
+  Alcotest.(check bool) "store pipelined" true
+    (s.Schedule.entries.(st).Schedule.e_added_pipe >= 1)
+
+let test_same_cycle_factor () =
+  let k = broadcast_kernel 8 in
+  let s = Schedule.run Schedule.Baseline k in
+  (* src (node 0) is read by 8 adds; under the baseline they all land in
+     cycle 0 *)
+  Alcotest.(check int) "factor" 8 (Schedule.same_cycle_factor s 0)
+
+let test_target_respected () =
+  let s = Schedule.run ~target_mhz:150. Schedule.Baseline (chain_kernel 10) in
+  Alcotest.(check bool) "slower clock packs more" true
+    (s.Schedule.depth <= (Schedule.run ~target_mhz:600. Schedule.Baseline (chain_kernel 10)).Schedule.depth)
+
+let test_bad_target () =
+  Alcotest.check_raises "target" (Invalid_argument "Schedule.run: target <= 0")
+    (fun () -> ignore (Schedule.run ~target_mhz:0. Schedule.Baseline (chain_kernel 2)))
+
+(* ---- Report ---- *)
+
+let test_report_text () =
+  let s = Schedule.run Schedule.Baseline (chain_kernel 5) in
+  let text = Report.to_string s in
+  Alcotest.(check bool) "mentions kernel" true (String.length text > 40)
+
+let test_report_latency () =
+  let s = Schedule.run Schedule.Baseline (chain_kernel 5) in
+  Alcotest.(check int) "latency = depth" s.Schedule.depth (Report.latency s)
+
+let test_stage_widths_spindle () =
+  (* a dot-product + scalar-broadcast kernel narrows to one value in the
+     middle: the Fig. 17 spindle *)
+  let k = Hlsb_designs.Vector_arith.single_kernel ~width:16 () in
+  let s = Schedule.run (aware ()) k in
+  let widths = Report.stage_widths s in
+  Alcotest.(check bool) "has boundaries" true (Array.length widths > 3);
+  let maxw = Array.fold_left max 0 widths in
+  let minw = Array.fold_left min max_int widths in
+  Alcotest.(check bool) "spindle shape" true (maxw > 4 * max 1 minw)
+
+let test_chain_delays_bounded () =
+  let s = Schedule.run Schedule.Baseline (chain_kernel 10) in
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "each cycle within target" true
+        (d <= s.Schedule.target_ns +. 1e-6))
+    (Report.chain_delays s)
+
+let test_violations_baseline_vs_aware () =
+  (* calibrated re-evaluation exposes violations in the baseline broadcast
+     schedule, and none in the aware one *)
+  let c = cal () in
+  let kb = broadcast_kernel 256 in
+  let sb = Schedule.run Schedule.Baseline kb in
+  let sa = Schedule.run (aware ()) (broadcast_kernel 256) in
+  Alcotest.(check bool) "baseline violates under calibrated delays" true
+    (Report.violations c sb <> []);
+  Alcotest.(check (list (pair int (float 0.001)))) "aware is clean" []
+    (Report.violations c sa)
+
+let suite =
+  [
+    Alcotest.test_case "deps respected (baseline)" `Quick
+      (test_deps_respected Schedule.Baseline);
+    Alcotest.test_case "deps respected (aware)" `Quick (fun () ->
+      test_deps_respected (aware ()) ());
+    Alcotest.test_case "chain fits (baseline)" `Quick
+      (test_chain_fits_target Schedule.Baseline);
+    Alcotest.test_case "chain fits (aware)" `Quick (fun () ->
+      test_chain_fits_target (aware ()) ());
+    Alcotest.test_case "chaining packs ops" `Quick test_chaining_packs_ops;
+    Alcotest.test_case "baseline ignores broadcast" `Quick
+      test_baseline_ignores_broadcast;
+    Alcotest.test_case "aware adds latency" `Quick
+      test_aware_adds_latency_for_broadcast;
+    Alcotest.test_case "aware inserts registers" `Quick test_aware_inserts_registers;
+    Alcotest.test_case "overhead is small" `Quick test_small_overhead;
+    Alcotest.test_case "float latency" `Quick test_float_latency;
+    Alcotest.test_case "mem distribution floor" `Quick test_mem_min_distribution;
+    Alcotest.test_case "same-cycle factor" `Quick test_same_cycle_factor;
+    Alcotest.test_case "target respected" `Quick test_target_respected;
+    Alcotest.test_case "bad target" `Quick test_bad_target;
+    Alcotest.test_case "report text" `Quick test_report_text;
+    Alcotest.test_case "report latency" `Quick test_report_latency;
+    Alcotest.test_case "stage widths spindle" `Quick test_stage_widths_spindle;
+    Alcotest.test_case "chain delays bounded" `Quick test_chain_delays_bounded;
+    Alcotest.test_case "violations baseline vs aware" `Quick
+      test_violations_baseline_vs_aware;
+  ]

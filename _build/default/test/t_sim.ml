@@ -1,0 +1,290 @@
+(* Cycle-accurate simulation tests: the §4.3 functional claims (skid-buffer
+   control = stall control in outputs and throughput; depth N+1 suffices)
+   and the §4.2 claims (pruning preserves streams, barriers couple flows). *)
+
+open Hlsb_ir
+module Fifo = Hlsb_sim.Fifo
+module Pipeline = Hlsb_sim.Pipeline
+module Network = Hlsb_sim.Network
+module Rng = Hlsb_util.Rng
+
+(* ---- Fifo ---- *)
+
+let test_fifo_order () =
+  let f = Fifo.create ~depth:4 in
+  Fifo.push f 1;
+  Fifo.push f 2;
+  Fifo.push f 3;
+  Alcotest.(check (option int)) "peek" (Some 1) (Fifo.peek f);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Fifo.pop f);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Fifo.pop f);
+  Alcotest.(check int) "length" 1 (Fifo.length f)
+
+let test_fifo_overflow_flag () =
+  let f = Fifo.create ~depth:2 in
+  Fifo.push f 1;
+  Fifo.push f 2;
+  Alcotest.(check bool) "full" true (Fifo.is_full f);
+  Alcotest.(check bool) "no overflow yet" false (Fifo.overflowed f);
+  Fifo.push f 3;
+  Alcotest.(check bool) "overflow recorded" true (Fifo.overflowed f);
+  Alcotest.(check int) "dropped" 2 (Fifo.length f)
+
+let test_fifo_high_water () =
+  let f = Fifo.create ~depth:8 in
+  List.iter (Fifo.push f) [ 1; 2; 3 ];
+  ignore (Fifo.pop f);
+  ignore (Fifo.pop f);
+  Alcotest.(check int) "high water" 3 (Fifo.max_occupancy f)
+
+(* ---- Pipeline control ---- *)
+
+let inputs n = List.init n (fun i -> i)
+
+let always_ready _ = true
+let never_stall = always_ready
+
+let ready_pattern seed period duty cycle =
+  ignore seed;
+  cycle mod period < duty
+
+let test_stall_identity () =
+  let r =
+    Pipeline.run_stall ~stages:5 ~inputs:(inputs 20) ~ready:never_stall
+      ~f:(fun x -> x * 3)
+  in
+  Alcotest.(check (list int)) "all outputs in order"
+    (List.map (fun x -> x * 3) (inputs 20))
+    r.Pipeline.outputs
+
+let test_skid_identity () =
+  let r =
+    Pipeline.run_skid ~stages:5 ~skid_depth:6 ~ctrl_delay:0
+      ~gate:Pipeline.Gate_empty ~inputs:(inputs 20) ~ready:never_stall
+      ~f:(fun x -> x + 100)
+  in
+  Alcotest.(check (list int)) "all outputs in order"
+    (List.map (fun x -> x + 100) (inputs 20))
+    r.Pipeline.outputs;
+  Alcotest.(check bool) "no overflow" false r.Pipeline.overflow
+
+let test_stall_backpressure_outputs () =
+  let ready = ready_pattern 0 3 1 in
+  let r =
+    Pipeline.run_stall ~stages:4 ~inputs:(inputs 30) ~ready ~f:Fun.id
+  in
+  Alcotest.(check (list int)) "complete and ordered" (inputs 30) r.Pipeline.outputs
+
+let test_skid_equals_stall_under_backpressure () =
+  let ready = ready_pattern 0 5 2 in
+  let stall =
+    Pipeline.run_stall ~stages:6 ~inputs:(inputs 50) ~ready ~f:Fun.id
+  in
+  let skid =
+    Pipeline.run_skid ~stages:6 ~skid_depth:14 ~ctrl_delay:0
+      ~gate:Pipeline.Gate_credit ~inputs:(inputs 50) ~ready ~f:Fun.id
+  in
+  Alcotest.(check (list int)) "same outputs" stall.Pipeline.outputs
+    skid.Pipeline.outputs;
+  (* "this approach has the exact same throughput as the original
+     stall-based back-pressure control" *)
+  Alcotest.(check bool) "comparable cycle count" true
+    (abs (stall.Pipeline.cycles - skid.Pipeline.cycles) <= 10)
+
+let test_skid_depth_bound_holds () =
+  (* N+1 suffices at ctrl_delay 0: worst-case downstream freeze *)
+  let freeze_after k cycle = cycle < k || cycle > k + 40 in
+  let r =
+    Pipeline.run_skid ~stages:9 ~skid_depth:10 ~ctrl_delay:0
+      ~gate:Pipeline.Gate_empty ~inputs:(inputs 60) ~ready:(freeze_after 5)
+      ~f:Fun.id
+  in
+  Alcotest.(check bool) "no overflow at N+1" false r.Pipeline.overflow;
+  Alcotest.(check (list int)) "stream intact" (inputs 60) r.Pipeline.outputs
+
+let test_skid_too_shallow_overflows () =
+  (* with a buffer smaller than the in-flight data, a long freeze loses
+     tokens *)
+  let freeze cycle = cycle < 3 || cycle > 60 in
+  let r =
+    Pipeline.run_skid ~stages:9 ~skid_depth:4 ~ctrl_delay:0
+      ~gate:Pipeline.Gate_empty ~inputs:(inputs 60) ~ready:freeze ~f:Fun.id
+  in
+  Alcotest.(check bool) "overflow" true r.Pipeline.overflow
+
+let test_ctrl_delay_needs_margin () =
+  (* registered back-pressure: N+1 is no longer enough, N+1+delay is *)
+  let freeze cycle = cycle < 3 || cycle > 80 in
+  let tight =
+    Pipeline.run_skid ~stages:6 ~skid_depth:7 ~ctrl_delay:4
+      ~gate:Pipeline.Gate_empty ~inputs:(inputs 60) ~ready:freeze ~f:Fun.id
+  in
+  Alcotest.(check bool) "tight buffer overflows" true tight.Pipeline.overflow;
+  let padded =
+    Pipeline.run_skid ~stages:6 ~skid_depth:11 ~ctrl_delay:4
+      ~gate:Pipeline.Gate_empty ~inputs:(inputs 60) ~ready:freeze ~f:Fun.id
+  in
+  Alcotest.(check bool) "padded buffer safe" false padded.Pipeline.overflow
+
+let test_throughput_full_speed () =
+  let r =
+    Pipeline.run_skid ~stages:8 ~skid_depth:9 ~ctrl_delay:0
+      ~gate:Pipeline.Gate_empty ~inputs:(inputs 100) ~ready:always_ready
+      ~f:Fun.id
+  in
+  Alcotest.(check bool) "near 1 token/cycle" true (Pipeline.throughput r > 0.85)
+
+let test_invalid_args () =
+  Alcotest.check_raises "stages" (Invalid_argument "Pipeline.run_stall: stages < 1")
+    (fun () ->
+      ignore (Pipeline.run_stall ~stages:0 ~inputs:[ 1 ] ~ready:always_ready ~f:Fun.id))
+
+(* the paper's central §4.3 equivalence, adversarially *)
+let prop_skid_equals_stall =
+  QCheck.Test.make ~count:120
+    ~name:"skid control == stall control (outputs and throughput)"
+    QCheck.(triple small_nat (int_range 1 12) (int_range 0 3))
+    (fun (seed, stages, ctrl_delay) ->
+      let rng = Rng.create seed in
+      let n = 20 + Rng.int rng 40 in
+      (* random downstream readiness, deterministic per seed *)
+      let pattern = Array.init 4096 (fun _ -> Rng.int rng 4 > 0) in
+      let ready c = pattern.(c mod 4096) in
+      let stall =
+        Pipeline.run_stall ~stages ~inputs:(inputs n) ~ready ~f:(fun x -> x * 7)
+      in
+      let skid =
+        Pipeline.run_skid ~stages
+          ~skid_depth:(2 * (stages + 1 + ctrl_delay))
+          ~ctrl_delay ~gate:Pipeline.Gate_credit ~inputs:(inputs n) ~ready
+          ~f:(fun x -> x * 7)
+      in
+      stall.Pipeline.outputs = skid.Pipeline.outputs
+      && (not skid.Pipeline.overflow)
+      && abs (stall.Pipeline.cycles - skid.Pipeline.cycles)
+         <= (2 * (stages + ctrl_delay)) + 6)
+
+let prop_skid_occupancy_bounded =
+  QCheck.Test.make ~count:120 ~name:"skid occupancy never exceeds N+1+delay"
+    QCheck.(triple small_nat (int_range 1 10) (int_range 0 3))
+    (fun (seed, stages, ctrl_delay) ->
+      let rng = Rng.create seed in
+      let pattern = Array.init 4096 (fun _ -> Rng.bool rng) in
+      let ready c = pattern.(c mod 4096) in
+      let depth = stages + 1 + ctrl_delay in
+      let r =
+        Pipeline.run_skid ~stages ~skid_depth:depth ~ctrl_delay
+          ~gate:Pipeline.Gate_empty ~inputs:(inputs 50) ~ready ~f:Fun.id
+      in
+      (not r.Pipeline.overflow) && r.Pipeline.max_occupancy <= depth)
+
+(* ---- Network / sync ---- *)
+
+let two_flows () =
+  let df = Dataflow.create () in
+  let a = Dataflow.add_process df ~name:"a" () in
+  let b = Dataflow.add_process df ~name:"b" () in
+  ignore (Dataflow.add_channel df ~name:"ia" ~src:(-1) ~dst:a ~dtype:(Dtype.Int 8) ());
+  ignore (Dataflow.add_channel df ~name:"ib" ~src:(-1) ~dst:b ~dtype:(Dtype.Int 8) ());
+  let oa = Dataflow.add_channel df ~name:"oa" ~src:a ~dst:(-1) ~dtype:(Dtype.Int 8) () in
+  let ob = Dataflow.add_channel df ~name:"ob" ~src:b ~dst:(-1) ~dtype:(Dtype.Int 8) () in
+  Dataflow.add_sync_group df [ a; b ];
+  (df, oa, ob)
+
+let test_network_runs () =
+  let df, oa, ob = two_flows () in
+  let r = Network.run df ~tokens:10 ~ready:(fun ~chan:_ ~cycle:_ -> true) in
+  Alcotest.(check bool) "completed" false r.Network.deadlocked;
+  Alcotest.(check (list int)) "flow a stream" (List.init 10 Fun.id)
+    (List.assoc oa r.Network.delivered);
+  Alcotest.(check (list int)) "flow b stream" (List.init 10 Fun.id)
+    (List.assoc ob r.Network.delivered)
+
+let test_barrier_couples_flows () =
+  (* back-pressure on flow b slows flow a under the glued sync, but not
+     when the groups are pruned *)
+  let slow_b ~chan ~cycle =
+    let _, _, ob = ((), (), 3) in
+    ignore ob;
+    if chan = 3 then cycle mod 4 = 0 else true
+  in
+  let df, _, _ = two_flows () in
+  let glued = Network.run df ~tokens:20 ~ready:slow_b in
+  let pruned_df = Hlsb_ctrl.Sync.split_independent df in
+  let pruned = Network.run pruned_df ~tokens:20 ~ready:slow_b in
+  Alcotest.(check bool) "pruned at least as fast" true
+    (pruned.Network.cycles <= glued.Network.cycles);
+  (* flow a alone is strictly faster when decoupled *)
+  Alcotest.(check bool) "a decoupled from b" true
+    (pruned.Network.fired.(0) >= glued.Network.fired.(0))
+
+let test_pruning_preserves_streams () =
+  let df, oa, ob = two_flows () in
+  let ready ~chan ~cycle = (chan + cycle) mod 3 <> 0 in
+  let glued = Network.run df ~tokens:15 ~ready in
+  let pruned = Network.run (Hlsb_ctrl.Sync.split_independent df) ~tokens:15 ~ready in
+  List.iter
+    (fun c ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "stream %d identical" c)
+        (List.assoc c glued.Network.delivered)
+        (List.assoc c pruned.Network.delivered))
+    [ oa; ob ]
+
+let test_network_deadlock_guard () =
+  (* a consumer with no input tokens ever: the run terminates with the
+     deadlock flag rather than hanging *)
+  let df = Dataflow.create () in
+  let a = Dataflow.add_process df ~name:"a" () in
+  let b = Dataflow.add_process df ~name:"b" () in
+  (* a -> b but also b -> a: a circular wait with empty channels *)
+  ignore (Dataflow.add_channel df ~name:"ab" ~src:a ~dst:b ~dtype:(Dtype.Int 8) ());
+  ignore (Dataflow.add_channel df ~name:"ba" ~src:b ~dst:a ~dtype:(Dtype.Int 8) ());
+  ignore (Dataflow.add_channel df ~name:"o" ~src:b ~dst:(-1) ~dtype:(Dtype.Int 8) ());
+  let r = Network.run df ~tokens:5 ~ready:(fun ~chan:_ ~cycle:_ -> true) in
+  Alcotest.(check bool) "deadlock detected" true r.Network.deadlocked
+
+let prop_pruning_stream_equivalence =
+  QCheck.Test.make ~count:80
+    ~name:"sync pruning is stream-preserving on random two-flow networks"
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create seed in
+      let df, oa, ob = two_flows () in
+      let pattern = Array.init 512 (fun _ -> Rng.int rng 3 > 0) in
+      let ready ~chan ~cycle = pattern.((chan + cycle) mod 512) in
+      let glued = Network.run df ~tokens:12 ~ready in
+      let pruned =
+        Network.run (Hlsb_ctrl.Sync.split_independent df) ~tokens:12 ~ready
+      in
+      List.assoc oa glued.Network.delivered = List.assoc oa pruned.Network.delivered
+      && List.assoc ob glued.Network.delivered = List.assoc ob pruned.Network.delivered
+      && pruned.Network.cycles <= glued.Network.cycles)
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo_order;
+    Alcotest.test_case "fifo overflow flag" `Quick test_fifo_overflow_flag;
+    Alcotest.test_case "fifo high water" `Quick test_fifo_high_water;
+    Alcotest.test_case "stall identity" `Quick test_stall_identity;
+    Alcotest.test_case "skid identity" `Quick test_skid_identity;
+    Alcotest.test_case "stall backpressure" `Quick test_stall_backpressure_outputs;
+    Alcotest.test_case "skid == stall (fixed)" `Quick
+      test_skid_equals_stall_under_backpressure;
+    Alcotest.test_case "skid N+1 bound" `Quick test_skid_depth_bound_holds;
+    Alcotest.test_case "shallow skid overflows" `Quick test_skid_too_shallow_overflows;
+    Alcotest.test_case "ctrl delay needs margin" `Quick test_ctrl_delay_needs_margin;
+    Alcotest.test_case "full-speed throughput" `Quick test_throughput_full_speed;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "network runs" `Quick test_network_runs;
+    Alcotest.test_case "barrier couples flows" `Quick test_barrier_couples_flows;
+    Alcotest.test_case "pruning preserves streams" `Quick
+      test_pruning_preserves_streams;
+    Alcotest.test_case "deadlock guard" `Quick test_network_deadlock_guard;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_skid_equals_stall;
+        prop_skid_occupancy_bounded;
+        prop_pruning_stream_equivalence;
+      ]

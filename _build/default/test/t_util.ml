@@ -1,0 +1,296 @@
+(* Unit + property tests for the utility library. *)
+
+module Stats = Hlsb_util.Stats
+module Rng = Hlsb_util.Rng
+module Intgraph = Hlsb_util.Intgraph
+module Vec = Hlsb_util.Vec
+module Table = Hlsb_util.Table
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let check_float name expected got =
+  Alcotest.(check (float 1e-9)) name expected got
+
+(* ---- Stats ---- *)
+
+let test_mean () =
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "singleton" 5. (Stats.mean [ 5. ])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Stats.mean []))
+
+let test_stddev () =
+  check_float "constant" 0. (Stats.stddev [ 4.; 4.; 4. ]);
+  Alcotest.(check bool) "two-point" true (feq (Stats.stddev [ 0.; 2. ]) 1.)
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  check_float "p0" 1. (Stats.percentile 0. xs);
+  check_float "p50" 3. (Stats.percentile 50. xs);
+  check_float "p100" 5. (Stats.percentile 100. xs);
+  check_float "p25" 2. (Stats.percentile 25. xs)
+
+let test_percentile_range () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile 150. [ 1. ]))
+
+let test_smooth_identity () =
+  let xs = [| 1.; 5.; 2.; 8. |] in
+  let s = Stats.smooth_neighbors ~window:0 xs in
+  Alcotest.(check (array (float 1e-9))) "window 0 is identity" xs s
+
+let test_smooth_window1 () =
+  let s = Stats.smooth_neighbors ~window:1 [| 0.; 3.; 6. |] in
+  check_float "left edge" 1.5 s.(0);
+  check_float "middle" 3. s.(1);
+  check_float "right edge" 4.5 s.(2)
+
+let test_smooth_preserves_constant () =
+  let s = Stats.smooth_neighbors ~window:3 (Array.make 10 7.) in
+  Array.iter (fun v -> check_float "constant" 7. v) s
+
+let test_total_variation () =
+  check_float "tv" 6. (Stats.total_variation [| 0.; 3.; 0.; 3. |] -. 3.);
+  check_float "tv empty" 0. (Stats.total_variation [||])
+
+let test_geometric_mean () =
+  check_float "gm" 2. (Stats.geometric_mean [ 1.; 4. ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive") (fun () ->
+      ignore (Stats.geometric_mean [ 1.; 0. ]))
+
+let prop_smoothing_reduces_variation =
+  QCheck.Test.make ~count:200
+    ~name:"smoothing does not increase total variation"
+    QCheck.(list_of_size (Gen.int_range 2 40) (float_bound_exclusive 100.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let s = Stats.smooth_neighbors ~window:1 arr in
+      Stats.total_variation s <= Stats.total_variation arr +. 1e-9)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~count:200 ~name:"percentile within min/max"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 30) (float_bound_exclusive 100.))
+        (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let v = Stats.percentile p xs in
+      let lo = List.fold_left min infinity xs in
+      let hi = List.fold_left max neg_infinity xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_bad_bound () =
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int (Rng.create 1) 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng ~mu:2. ~sigma:0.5) in
+  let m = Stats.mean xs in
+  let s = Stats.stddev xs in
+  Alcotest.(check bool) "mean ~ 2" true (abs_float (m -. 2.) < 0.02);
+  Alcotest.(check bool) "sigma ~ 0.5" true (abs_float (s -. 0.5) < 0.02)
+
+(* ---- Intgraph ---- *)
+
+let diamond () =
+  let g = Intgraph.create 4 in
+  Intgraph.add_edge g 0 1;
+  Intgraph.add_edge g 0 2;
+  Intgraph.add_edge g 1 3;
+  Intgraph.add_edge g 2 3;
+  g
+
+let test_graph_topo () =
+  match Intgraph.topological_order (diamond ()) with
+  | None -> Alcotest.fail "diamond is acyclic"
+  | Some order ->
+    let pos = Array.make 4 0 in
+    List.iteri (fun i v -> pos.(v) <- i) order;
+    Alcotest.(check bool) "0 before 1" true (pos.(0) < pos.(1));
+    Alcotest.(check bool) "1 before 3" true (pos.(1) < pos.(3));
+    Alcotest.(check bool) "2 before 3" true (pos.(2) < pos.(3))
+
+let test_graph_cycle () =
+  let g = Intgraph.create 2 in
+  Intgraph.add_edge g 0 1;
+  Intgraph.add_edge g 1 0;
+  Alcotest.(check bool) "cycle detected" true
+    (Intgraph.topological_order g = None)
+
+let test_graph_components () =
+  let g = Intgraph.create 5 in
+  Intgraph.add_edge g 0 1;
+  Intgraph.add_edge g 3 4;
+  let comp = Intgraph.connected_components g in
+  Alcotest.(check bool) "0~1" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "3~4" true (comp.(3) = comp.(4));
+  Alcotest.(check bool) "0!~3" true (comp.(0) <> comp.(3));
+  Alcotest.(check bool) "2 alone" true (comp.(2) <> comp.(0) && comp.(2) <> comp.(3))
+
+let test_graph_longest_path () =
+  match Intgraph.longest_path_lengths (diamond ()) ~weight:(fun _ -> 1.) with
+  | None -> Alcotest.fail "acyclic"
+  | Some dist ->
+    check_float "source" 1. dist.(0);
+    check_float "sink depth" 3. dist.(3)
+
+let test_graph_reachable () =
+  let g = diamond () in
+  let r = Intgraph.reachable_from g [ 1 ] in
+  Alcotest.(check bool) "1 reaches 3" true r.(3);
+  Alcotest.(check bool) "1 not 2" false r.(2);
+  Alcotest.(check bool) "1 not 0" false r.(0)
+
+let test_graph_bad_edge () =
+  let g = Intgraph.create 2 in
+  Alcotest.check_raises "range" (Invalid_argument "Intgraph: node out of range")
+    (fun () -> Intgraph.add_edge g 0 5)
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~count:100 ~name:"topological order respects random DAGs"
+    QCheck.(small_nat)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 20 in
+      let g = Intgraph.create n in
+      let edges = ref [] in
+      for _ = 1 to n * 2 do
+        let a = Rng.int rng n and b = Rng.int rng n in
+        (* forward edges only: guaranteed acyclic *)
+        if a < b then begin
+          Intgraph.add_edge g a b;
+          edges := (a, b) :: !edges
+        end
+      done;
+      match Intgraph.topological_order g with
+      | None -> false
+      | Some order ->
+        let pos = Array.make n 0 in
+        List.iteri (fun i v -> pos.(v) <- i) order;
+        List.for_all (fun (a, b) -> pos.(a) < pos.(b)) !edges)
+
+(* ---- Vec ---- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    let idx = Vec.push v (i * 2) in
+    Alcotest.(check int) "index" i idx
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 84 (Vec.get v 42)
+
+let test_vec_set () =
+  let v = Vec.create () in
+  ignore (Vec.push v 1);
+  Vec.set v 0 9;
+  Alcotest.(check int) "set" 9 (Vec.get v 0)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  ignore (Vec.push v 1);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of range")
+    (fun () -> ignore (Vec.get v 1))
+
+let test_vec_fold () =
+  let v = Vec.create () in
+  List.iter (fun x -> ignore (Vec.push v x)) [ 1; 2; 3 ];
+  Alcotest.(check int) "fold" 6 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check (array int)) "to_array" [| 1; 2; 3 |] (Vec.to_array v)
+
+(* ---- Table ---- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~headers:[ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains rows" true
+    (contains ~needle:"yy" s && contains ~needle:"22" s);
+  (* all lines equal width *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let w = String.length (List.hd lines) in
+  List.iter
+    (fun l -> Alcotest.(check int) "line width" w (String.length l))
+    lines
+
+let test_table_arity () =
+  let t = Table.create ~headers:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    Alcotest.test_case "stats mean" `Quick test_mean;
+    Alcotest.test_case "stats mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "stats stddev" `Quick test_stddev;
+    Alcotest.test_case "stats percentile" `Quick test_percentile;
+    Alcotest.test_case "stats percentile range" `Quick test_percentile_range;
+    Alcotest.test_case "smooth identity" `Quick test_smooth_identity;
+    Alcotest.test_case "smooth window 1" `Quick test_smooth_window1;
+    Alcotest.test_case "smooth constant" `Quick test_smooth_preserves_constant;
+    Alcotest.test_case "total variation" `Quick test_total_variation;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng bad bound" `Quick test_rng_bad_bound;
+    Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "graph topo" `Quick test_graph_topo;
+    Alcotest.test_case "graph cycle" `Quick test_graph_cycle;
+    Alcotest.test_case "graph components" `Quick test_graph_components;
+    Alcotest.test_case "graph longest path" `Quick test_graph_longest_path;
+    Alcotest.test_case "graph reachable" `Quick test_graph_reachable;
+    Alcotest.test_case "graph bad edge" `Quick test_graph_bad_edge;
+    Alcotest.test_case "vec push/get" `Quick test_vec_push_get;
+    Alcotest.test_case "vec set" `Quick test_vec_set;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "vec fold" `Quick test_vec_fold;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity;
+  ]
+  @ qsuite
+      [ prop_smoothing_reduces_variation; prop_percentile_bounds; prop_topo_respects_edges ]

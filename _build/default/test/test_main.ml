@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "broadcast_hls"
+    [
+      ("util", T_util.suite);
+      ("ir", T_ir.suite);
+      ("device", T_device.suite);
+      ("netlist", T_netlist.suite);
+      ("physical", T_physical.suite);
+      ("delay", T_delay.suite);
+      ("sched", T_sched.suite);
+      ("ctrl", T_ctrl.suite);
+      ("sim", T_sim.suite);
+      ("rtlgen", T_rtlgen.suite);
+      ("designs", T_designs.suite);
+      ("core", T_core.suite);
+      ("frontend", T_frontend.suite);
+      ("export", T_export.suite);
+    ]
