@@ -2,6 +2,13 @@
    evaluation section (printed in the paper's layout, with the paper's
    numbers alongside), then times each experiment driver with Bechamel.
 
+   The whole run is executed under an installed telemetry collector:
+   every experiment driver is a span (the single source of truth for the
+   per-experiment times printed below), and on exit a machine-readable
+   profile is written — a Chrome trace_event file plus a metrics
+   snapshot. Set HLSB_PROFILE_DIR to choose the output directory
+   (default: current directory); set it to the empty string to skip.
+
    Sections:
      table1  - Table 1: nine benchmarks, original vs optimized
      table2  - Table 2: 512-wide vector product control variants
@@ -14,13 +21,24 @@
      ablation- design-choice ablations from DESIGN.md section 8 *)
 
 module Experiments = Core.Experiments
+module Trace = Hlsb_telemetry.Trace
+module Metrics = Hlsb_telemetry.Metrics
+module Json = Hlsb_telemetry.Json
 
 let section title = Printf.printf "\n===== %s =====\n%!" title
 
+(* Span-based timing: the experiment runs inside a span on the installed
+   collector, and the printed time is read back from that span. *)
 let timed name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  Printf.printf "[%s completed in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  let r = Trace.with_span name f in
+  (match Trace.installed () with
+  | None -> ()
+  | Some t -> (
+    match List.rev (Trace.find t name) with
+    | s :: _ ->
+      Printf.printf "[%s completed in %.1fs]\n%!" name
+        (Trace.duration_ms s /. 1e3)
+    | [] -> ()));
   r
 
 let run_all_experiments () =
@@ -122,12 +140,37 @@ let bechamel_suite () =
     (fun (name, ms) -> Printf.printf "  %-28s %10.2f ms/run\n" name ms)
     (List.sort compare !rows)
 
+let write_text ~path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)
+
+let write_profile trace registry =
+  match Sys.getenv_opt "HLSB_PROFILE_DIR" with
+  | Some "" -> ()
+  | dir ->
+    let dir = Option.value ~default:"." dir in
+    let trace_path = Filename.concat dir "bench-profile.trace.json" in
+    let metrics_path = Filename.concat dir "bench-profile.metrics.json" in
+    write_text ~path:trace_path
+      (Json.to_string (Trace.to_chrome_json ~process_name:"hlsb bench" trace));
+    write_text ~path:metrics_path
+      (Json.to_string ~minify:false (Metrics.to_json (Metrics.snapshot registry)));
+    Printf.printf "profile: %s (chrome://tracing / Perfetto), %s\n" trace_path
+      metrics_path
+
 let () =
   Printf.printf
     "Broadcast-aware HLS timing optimization - evaluation reproduction\n\
      (DAC 2020: Analysis and Optimization of the Implicit Broadcasts in\n\
     \ FPGA HLS to Improve Maximum Frequency)\n";
-  let t0 = Unix.gettimeofday () in
-  run_all_experiments ();
-  bechamel_suite ();
-  Printf.printf "\nTotal evaluation time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let trace = Trace.create () in
+  let registry = Metrics.create () in
+  Trace.with_collector trace (fun () ->
+    Metrics.with_registry registry (fun () ->
+      Trace.with_span "evaluation" run_all_experiments;
+      Trace.with_span "bechamel" bechamel_suite));
+  Printf.printf "\nTotal evaluation time: %.1fs\n"
+    (Int64.to_float (Trace.total_ns trace) /. 1e9);
+  write_profile trace registry

@@ -4,6 +4,7 @@
      list                     benchmark designs and devices
      classify  DESIGN         source-level broadcast report (section 3)
      compile   DESIGN         compile under a recipe, print Fmax/resources
+     profile   DESIGN         compile with telemetry: spans + metrics
      path      DESIGN         critical path under a recipe
      schedule  DESIGN         schedule report of the design's first kernel
      table1|table2|table3     regenerate the paper's tables
@@ -15,10 +16,38 @@ module Style = Hlsb_ctrl.Style
 module Spec = Hlsb_designs.Spec
 module Timing = Hlsb_physical.Timing
 module Netlist = Hlsb_netlist.Netlist
+module Trace = Hlsb_telemetry.Trace
+module Metrics = Hlsb_telemetry.Metrics
+module Json = Hlsb_telemetry.Json
 open Cmdliner
 
+(* Designs can be named exactly ("Vector Arithmetic") or in a relaxed
+   form: case-insensitive with spaces/dashes/underscores ignored, and a
+   unique prefix suffices ("vector-arithmetic", "vector_arith", "lstm"). *)
+let normalize name =
+  String.to_seq name
+  |> Seq.filter_map (fun c ->
+       match c with
+       | 'A' .. 'Z' -> Some (Char.lowercase_ascii c)
+       | 'a' .. 'z' | '0' .. '9' -> Some c
+       | _ -> None)
+  |> String.of_seq
+
 let find_design name =
-  match Hlsb_designs.Suite.find name with
+  let exact = Hlsb_designs.Suite.find name in
+  let relaxed () =
+    let n = normalize name in
+    let matches p =
+      List.filter (fun s -> p (normalize s.Spec.sp_name)) Hlsb_designs.Suite.all
+    in
+    match matches (String.equal n) with
+    | [ s ] -> Some s
+    | _ -> (
+      match matches (fun cand -> String.starts_with ~prefix:n cand) with
+      | [ s ] when n <> "" -> Some s
+      | _ -> None)
+  in
+  match if exact <> None then exact else relaxed () with
   | Some s -> s
   | None ->
     let names =
@@ -87,13 +116,120 @@ let compile name recipe =
   Core.Flow.compile_spec ~recipe:(recipe_of recipe) s
 
 let cmd_compile =
-  let run name recipe =
+  let run name recipe json =
     let r = compile name recipe in
-    print_endline (Core.Flow.summary r)
+    if json then
+      print_endline (Json.to_string ~minify:false (Core.Flow.result_to_json r))
+    else print_endline (Core.Flow.summary r)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the result record as JSON instead of text.")
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a benchmark and report Fmax/resources")
-    Term.(const run $ design_arg $ recipe_arg)
+    Term.(const run $ design_arg $ recipe_arg $ json_arg)
+
+let write_text ~path text =
+  match open_out path with
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write output file: %s\n" msg;
+    exit 1
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text)
+
+let cmd_profile =
+  let run name recipe trace_out metrics_out quiet =
+    let s = find_design name in
+    let trace = Trace.create () in
+    let registry = Metrics.create () in
+    let r =
+      Trace.with_collector trace (fun () ->
+        Metrics.with_registry registry (fun () ->
+          let r = Core.Flow.compile_spec ~recipe:(recipe_of recipe) s in
+          (* Drive the behavioral skid model under bursty back-pressure so
+             the profile also carries the §4.3 occupancy series. *)
+          let stages =
+            List.fold_left
+              (fun acc (k : Hlsb_rtlgen.Design.kernel_info) ->
+                max acc k.Hlsb_rtlgen.Design.ki_depth)
+              1 r.Core.Flow.fr_design.Hlsb_rtlgen.Design.kernels
+            |> min 64
+          in
+          let skid_depth =
+            Hlsb_ctrl.Skid.required_depth ~pipeline_depth:stages ()
+          in
+          Trace.with_span "occupancy_sim"
+            ~attrs:[ ("stages", Json.Int stages) ]
+            (fun () ->
+              ignore
+                (Hlsb_sim.Pipeline.run_skid ~stages ~skid_depth ~ctrl_delay:0
+                   ~gate:Hlsb_sim.Pipeline.Gate_empty
+                   ~inputs:(List.init 256 Fun.id)
+                   ~ready:(fun c -> c mod 7 <> 0 && c mod 13 <> 1)
+                   ~f:Fun.id));
+          r))
+    in
+    let snap = Metrics.snapshot registry in
+    if not quiet then begin
+      print_endline (Core.Flow.summary r);
+      print_newline ();
+      print_endline "spans:";
+      print_string (Trace.render trace);
+      print_newline ();
+      print_string (Metrics.render snap)
+    end;
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      write_text ~path
+        (Json.to_string
+           (Trace.to_chrome_json ~process_name:("hlsbc " ^ s.Spec.sp_name) trace));
+      if not quiet then
+        Printf.printf "wrote trace to %s (load in chrome://tracing or Perfetto)\n"
+          path);
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      write_text ~path
+        (Json.to_string ~minify:false
+           (Json.Obj
+              [
+                ("design", Json.Str s.Spec.sp_name);
+                ("recipe", Json.Str recipe);
+                ("result", Core.Flow.result_to_json r);
+                ("metrics", Metrics.to_json snap);
+              ]));
+      if not quiet then Printf.printf "wrote metrics to %s\n" path
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json"
+          ~doc:"Write a Chrome trace_event JSON profile to $(docv).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"OUT.json"
+          ~doc:"Write the metrics snapshot (with the compile result) to $(docv).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Suppress the summary table and span tree.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile a benchmark with telemetry enabled: nested spans for \
+          elaborate/schedule/lower/timing plus broadcast/occupancy metrics")
+    Term.(const run $ design_arg $ recipe_arg $ trace_arg $ metrics_arg $ quiet_arg)
 
 let cmd_path =
   let run name recipe =
@@ -259,6 +395,7 @@ let () =
             cmd_list;
             cmd_classify;
             cmd_compile;
+            cmd_profile;
             cmd_path;
             cmd_schedule;
             cmd_cc;

@@ -40,3 +40,8 @@ val improvement_pct : orig:result -> opt:result -> float
 (** Relative Fmax gain in percent, the paper's "Diff" column. *)
 
 val summary : result -> string
+
+val result_to_json : result -> Hlsb_telemetry.Json.t
+(** The record as JSON (Fmax, critical ns, utilization percentages,
+    per-kernel depth/registers/skid bits) — the payload of
+    [hlsbc compile --json] and [hlsbc profile]. *)

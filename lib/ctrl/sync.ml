@@ -1,4 +1,5 @@
 open Hlsb_ir
+module Metrics = Hlsb_telemetry.Metrics
 
 let split_independent (df : Dataflow.t) =
   let comp = Dataflow.connectivity_components df in
@@ -31,6 +32,7 @@ let split_independent (df : Dataflow.t) =
         Hashtbl.fold (fun _ members acc -> List.rev members :: acc) by_comp []
         |> List.sort compare
       in
+      Metrics.incr ~by:(max 0 (List.length split - 1)) "sync.groups_split";
       List.iter (fun members -> Dataflow.add_sync_group out members) split)
     (Dataflow.sync_groups df);
   out

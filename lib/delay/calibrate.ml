@@ -1,6 +1,7 @@
 open Hlsb_ir
 module Device = Hlsb_device.Device
 module Stats = Hlsb_util.Stats
+module Metrics = Hlsb_telemetry.Metrics
 
 type curves = {
   raw : float array;
@@ -32,6 +33,7 @@ let op_curves t op dt =
   match Hashtbl.find_opt t.op_cache key with
   | Some c -> c
   | None ->
+    Metrics.incr "calibrate.curve_builds";
     let pts = Characterize.arith_curve t.dev op dt ~factors:factor_grid in
     let raw = Array.map (fun p -> p.Characterize.measured) pts in
     let smoothed = Stats.smooth_neighbors ~window:t.window raw in
@@ -44,6 +46,7 @@ let mem_curves t ~read =
   match cached with
   | Some c -> c
   | None ->
+    Metrics.incr "calibrate.curve_builds";
     let pts =
       if read then Characterize.mem_read_curve t.dev ~units:unit_grid
       else Characterize.mem_write_curve t.dev ~units:unit_grid
@@ -72,6 +75,7 @@ let op_predicted _t op dt = Oplib.predicted op dt
 
 let op_delay t op dt ~factor =
   if factor < 1 then invalid_arg "Calibrate.op_delay: factor < 1";
+  Metrics.incr "calibrate.lookups";
   let c = op_curves t op dt in
   let measured = interp factor_grid c.smoothed factor in
   max (Oplib.predicted op dt) measured
@@ -83,11 +87,13 @@ let op_measured t op dt ~factor =
 let units_of ~width ~depth = Device.bram18_for ~width ~depth
 
 let mem_write_delay t ~width ~depth =
+  Metrics.incr "calibrate.lookups";
   let c = mem_curves t ~read:false in
   let u = units_of ~width ~depth in
   max Oplib.mem_write_predicted (interp unit_grid c.smoothed u)
 
 let mem_read_delay t ~width ~depth =
+  Metrics.incr "calibrate.lookups";
   let c = mem_curves t ~read:true in
   let u = units_of ~width ~depth in
   max Oplib.mem_read_predicted (interp unit_grid c.smoothed u)

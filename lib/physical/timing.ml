@@ -1,6 +1,8 @@
 module Device = Hlsb_device.Device
 module Netlist = Hlsb_netlist.Netlist
 module Rng = Hlsb_util.Rng
+module Trace = Hlsb_telemetry.Trace
+module Metrics = Hlsb_telemetry.Metrics
 
 type path_step = {
   ps_cell : int;
@@ -163,9 +165,24 @@ let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
     arrivals = arrival;
   }
 
+let run_body ?jitter ?seed d nl =
+  let pl = Trace.with_span "place" (fun () -> Placement.place d nl) in
+  let r = Trace.with_span "sta" (fun () -> analyze ?jitter ?seed d nl pl) in
+  Metrics.incr "timing.runs";
+  Metrics.set_gauge "timing.critical_ns" r.critical_ns;
+  r
+
 let run ?jitter ?seed d nl =
-  let pl = Placement.place d nl in
-  analyze ?jitter ?seed d nl pl
+  if not (Trace.enabled ()) then run_body ?jitter ?seed d nl
+  else
+    Trace.with_span "timing"
+      ~attrs:
+        [
+          ("netlist", Hlsb_telemetry.Json.Str (Netlist.name nl));
+          ("cells", Hlsb_telemetry.Json.Int (Netlist.n_cells nl));
+          ("nets", Hlsb_telemetry.Json.Int (Netlist.n_nets nl));
+        ]
+      (fun () -> run_body ?jitter ?seed d nl)
 
 let pp_report fmt r =
   Format.fprintf fmt "critical %.3f ns -> %.1f MHz (path %d cells" r.critical_ns

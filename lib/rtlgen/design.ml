@@ -6,6 +6,9 @@ module Calibrate = Hlsb_delay.Calibrate
 module Schedule = Hlsb_sched.Schedule
 module Style = Hlsb_ctrl.Style
 module Sync = Hlsb_ctrl.Sync
+module Trace = Hlsb_telemetry.Trace
+module Metrics = Hlsb_telemetry.Metrics
+module Json = Hlsb_telemetry.Json
 
 type kernel_info = {
   ki_name : string;
@@ -28,7 +31,7 @@ let schedule_mode device (recipe : Style.recipe) =
   | Style.Sched_hls -> Schedule.Baseline
   | Style.Sched_aware -> Schedule.Broadcast_aware (Calibrate.shared device)
 
-let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
+let generate_body ~target_mhz ~device ~recipe ~name (df : Dataflow.t) =
   (match Dataflow.validate df with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Design.generate: " ^ msg));
@@ -47,6 +50,7 @@ let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
       lowered.(p) <- Some lw
   done;
   (* Wire channels: writer interface -> reader FIFO cell, matched by name. *)
+  Trace.with_span "wire_channels" (fun () ->
   Array.iter
     (fun (c : Dataflow.channel) ->
       let find_iface p ifaces =
@@ -85,15 +89,16 @@ let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
         invalid_arg
           (Printf.sprintf "Design.generate: channel %s has no matching FIFO"
              c.Dataflow.c_name))
-    (Dataflow.channels df);
+    (Dataflow.channels df));
   (* Synchronization controllers. *)
+  let n_groups = ref 0 in
+  let max_fanout = ref 0 in
+  Trace.with_span "sync_controllers" (fun () ->
   let df_sync =
     match recipe.Style.sync with
     | Style.Sync_naive -> df
     | Style.Sync_pruned -> Sync.split_independent df
   in
-  let n_groups = ref 0 in
-  let max_fanout = ref 0 in
   List.iter
     (fun group ->
       let members =
@@ -109,6 +114,9 @@ let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
           | Style.Sync_pruned ->
             (Sync.longest_latency_wait df_sync (List.map fst members)).Sync.waited
         in
+        Metrics.incr
+          ~by:(max 0 (List.length members - List.length wait_procs))
+          "sync.edges_pruned";
         let dones =
           List.filter_map
             (fun p ->
@@ -162,7 +170,7 @@ let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
                  ~driver:hop ~sinks:start_sinks ~width:1 ())
           end
       end)
-    (Dataflow.sync_groups df_sync);
+    (Dataflow.sync_groups df_sync));
   let kernels =
     Array.to_list lowered
     |> List.filter_map
@@ -174,6 +182,20 @@ let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
               ki_skid_bits = lw.Lower.lw_skid_bits;
             }))
   in
+  if Metrics.enabled () then begin
+    Metrics.incr ~by:(Netlist.n_cells nl) "netlist.cells";
+    Metrics.incr ~by:(Netlist.n_nets nl) "netlist.nets";
+    Metrics.incr ~by:!n_groups "sync.controllers";
+    Metrics.set_gauge_int "sync.max_start_fanout" !max_fanout;
+    List.iter
+      (fun lw ->
+        match lw with
+        | None -> ()
+        | Some lw ->
+          Metrics.incr ~by:lw.Lower.lw_registers_added "lower.registers_added";
+          Metrics.incr ~by:lw.Lower.lw_skid_bits "lower.skid_bits")
+      (Array.to_list lowered)
+  end;
   {
     netlist = nl;
     device;
@@ -182,6 +204,17 @@ let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
     sync_groups_emitted = !n_groups;
     max_sync_fanout = !max_fanout;
   }
+
+let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
+  if not (Trace.enabled ()) then
+    generate_body ~target_mhz ~device ~recipe ~name df
+  else
+    Trace.with_span "generate"
+      ~attrs:
+        [
+          ("design", Json.Str name); ("recipe", Json.Str (Style.label recipe));
+        ]
+      (fun () -> generate_body ~target_mhz ~device ~recipe ~name df)
 
 let single_kernel ?(target_mhz = 300.) ~device ~recipe kernel =
   let df = Dataflow.create () in

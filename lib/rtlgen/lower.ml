@@ -31,7 +31,7 @@ type slot = {
 
 let big_fanout = 8
 
-let lower (d : Device.t) nl ~pipe ~fanout_trees (sched : Schedule.t) =
+let lower_body (d : Device.t) nl ~pipe ~fanout_trees (sched : Schedule.t) =
   let k = sched.Schedule.kernel in
   let dag = k.Kernel.dag in
   let kname = k.Kernel.name in
@@ -435,3 +435,16 @@ let lower (d : Device.t) nl ~pipe ~fanout_trees (sched : Schedule.t) =
     lw_skid_bits = !skid_bits;
     lw_registers_added = !registers_added;
   }
+
+let lower d nl ~pipe ~fanout_trees (sched : Schedule.t) =
+  let module Trace = Hlsb_telemetry.Trace in
+  if not (Trace.enabled ()) then lower_body d nl ~pipe ~fanout_trees sched
+  else
+    Trace.with_span "lower"
+      ~attrs:
+        [
+          ( "kernel",
+            Hlsb_telemetry.Json.Str sched.Schedule.kernel.Hlsb_ir.Kernel.name );
+          ("depth", Hlsb_telemetry.Json.Int sched.Schedule.depth);
+        ]
+      (fun () -> lower_body d nl ~pipe ~fanout_trees sched)

@@ -1,6 +1,8 @@
 open Hlsb_ir
 module Calibrate = Hlsb_delay.Calibrate
 module Oplib = Hlsb_delay.Oplib
+module Trace = Hlsb_telemetry.Trace
+module Metrics = Hlsb_telemetry.Metrics
 
 type mode =
   | Baseline
@@ -201,7 +203,33 @@ let same_cycle_reads entries dag =
    uncertainty margin, like the commercial tool's default. *)
 let clock_uncertainty = 0.18
 
-let run ?(target_mhz = 300.) mode (k : Kernel.t) =
+let label_of_mode = function
+  | Baseline -> "baseline"
+  | Broadcast_aware _ -> "broadcast-aware"
+
+(* Feed the telemetry registry (§4.1's quantities): the raw read count of
+   every value and the input-side factor the schedule actually budgeted
+   after distribution trees capped the leaf fanout. *)
+let record_metrics t =
+  match Metrics.installed () with
+  | None -> ()
+  | Some _ ->
+    let dag = t.kernel.Kernel.dag in
+    Dag.iter dag (fun v ->
+      if produces_value dag v then begin
+        let reads = Dag.broadcast_factor dag v in
+        if reads > 0 then Metrics.observe_int "sched.broadcast_factor" reads
+      end;
+      Metrics.observe_int "sched.fanout_after_split" t.entries.(v).e_factor);
+    let regs =
+      Array.fold_left
+        (fun acc e -> acc + e.e_added_pipe + e.e_bcast_levels)
+        0 t.entries
+    in
+    Metrics.incr "sched.kernels";
+    Metrics.incr ~by:regs "sched.registers_inserted"
+
+let run_body ~target_mhz mode (k : Kernel.t) =
   if target_mhz <= 0. then invalid_arg "Schedule.run: target <= 0";
   let target = 1000. /. target_mhz *. (1. -. clock_uncertainty) in
   let dag = k.Kernel.dag in
@@ -262,12 +290,22 @@ let run ?(target_mhz = 300.) mode (k : Kernel.t) =
     Dag.iter dag (fun v -> m := max !m (result_cycle entries v));
     !m + 1
   in
-  let mode_label =
-    match mode with
-    | Baseline -> "baseline"
-    | Broadcast_aware _ -> "broadcast-aware"
+  let t =
+    { kernel = k; mode_label = label_of_mode mode; target_ns = target; entries; depth }
   in
-  { kernel = k; mode_label; target_ns = target; entries; depth }
+  record_metrics t;
+  t
+
+let run ?(target_mhz = 300.) mode (k : Kernel.t) =
+  if not (Trace.enabled ()) then run_body ~target_mhz mode k
+  else
+    Trace.with_span "schedule"
+      ~attrs:
+        [
+          ("kernel", Hlsb_telemetry.Json.Str k.Kernel.name);
+          ("mode", Hlsb_telemetry.Json.Str (label_of_mode mode));
+        ]
+      (fun () -> run_body ~target_mhz mode k)
 
 let finish_cycle t v = result_cycle t.entries v
 

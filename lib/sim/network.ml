@@ -94,8 +94,13 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
       if group_of.(p) = -1 && (not fired_this_cycle.(p)) && can_fire p then
         fire p
     done;
+    if Hlsb_telemetry.Metrics.enabled () then
+      for c = 0 to n_chan - 1 do
+        Hlsb_telemetry.Metrics.observe_int "sim.chan_occupancy" occupancy.(c)
+      done;
     incr cycle
   done;
+  Hlsb_telemetry.Metrics.incr ~by:!cycle "sim.cycles";
   {
     cycles = !cycle;
     fired;

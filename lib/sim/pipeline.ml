@@ -1,3 +1,5 @@
+module Metrics = Hlsb_telemetry.Metrics
+
 type 'b result = {
   outputs : 'b list;
   cycles : int;
@@ -46,6 +48,7 @@ let run_stall ~stages ~inputs ~ready ~f =
     end;
     incr cycle
   done;
+  Metrics.incr ~by:!cycle "sim.cycles";
   {
     outputs = List.rev !delivered;
     cycles = !cycle;
@@ -108,8 +111,12 @@ let run_skid ~stages ~skid_depth ~ctrl_delay ~gate ~inputs ~ready ~f =
          pending := rest
        | [] -> regs.(0) <- None
      else regs.(0) <- None);
+    (* Per-cycle fill series: this is the §4.3 occupancy telemetry that
+       drives skid sizing. No-op (no boxing) when telemetry is off. *)
+    Metrics.observe_int "sim.skid_occupancy" (Fifo.length skid);
     incr cycle
   done;
+  Metrics.incr ~by:!cycle "sim.cycles";
   {
     outputs = List.rev !delivered;
     cycles = !cycle;

@@ -1,0 +1,7 @@
+let default () = Monotonic_clock.now ()
+let source = ref default
+let now_ns () = !source ()
+let set_source f = source := f
+let reset_source () = source := default
+let ns_to_us ns = Int64.to_float ns /. 1e3
+let ns_to_ms ns = Int64.to_float ns /. 1e6

@@ -1,0 +1,19 @@
+(** Nanosecond monotonic clock backing the tracer. The default source is
+    the CLOCK_MONOTONIC stub shipped with Bechamel, so span timestamps
+    are immune to wall-clock adjustments and cost no allocation
+    ([@@noalloc] external). Tests may substitute a deterministic source. *)
+
+val now_ns : unit -> int64
+(** Current time in nanoseconds from an arbitrary (but fixed) origin. *)
+
+val set_source : (unit -> int64) -> unit
+(** Replace the clock source (testing). *)
+
+val reset_source : unit -> unit
+(** Restore the default monotonic source. *)
+
+val ns_to_us : int64 -> float
+(** Convenience: nanoseconds to (fractional) microseconds, the unit of
+    Chrome [trace_event] timestamps. *)
+
+val ns_to_ms : int64 -> float

@@ -1,0 +1,34 @@
+(** Minimal JSON tree used by the telemetry exporters and the CLI's
+    [--json] output. Self-contained (no external dependency): the
+    encoder escapes per RFC 8259, floats are printed with enough
+    precision to round-trip, and the parser accepts exactly the
+    documents the encoder emits (plus whitespace), which is all the
+    test-suite round-trips need. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** [minify] defaults to [true]; when [false], pretty-prints with
+    2-space indentation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printing (non-minified) on a formatter. *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document. Numbers with a ['.'], exponent, or out of
+    [int] range become [Float]; everything else integral becomes
+    [Int]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on missing key or
+    non-object. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields are compared order-insensitively. *)

@@ -1,0 +1,228 @@
+type hist = {
+  h_buckets : float array;
+  h_counts : int array;  (* length = buckets + 1, last is overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let current : t option ref = ref None
+let install t = current := Some t
+let uninstall () = current := None
+let installed () = !current
+let enabled () = !current <> None
+
+let with_registry t f =
+  let prev = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+let default_buckets =
+  [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+
+let incr ?(by = 1) name =
+  match !current with
+  | None -> ()
+  | Some t -> (
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t.counters name (ref by))
+
+let set_gauge name v =
+  match !current with
+  | None -> ()
+  | Some t -> (
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add t.gauges name (ref v))
+
+let set_gauge_int name v = set_gauge name (float_of_int v)
+
+let find_bucket buckets v =
+  (* buckets are upper bounds, ascending; index of first bound >= v,
+     or [length] for the overflow bucket. *)
+  let n = Array.length buckets in
+  let rec go i = if i >= n then n else if v <= buckets.(i) then i else go (i + 1) in
+  go 0
+
+let hist_observe h v =
+  let i = find_bucket h.h_buckets v in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if h.h_count = 1 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let observe ?buckets name v =
+  match !current with
+  | None -> ()
+  | Some t -> (
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> hist_observe h v
+    | None ->
+      let buckets = match buckets with Some b -> b | None -> default_buckets in
+      if Array.length buckets = 0 then
+        invalid_arg "Metrics.observe: empty buckets";
+      Array.iteri
+        (fun i b ->
+          if i > 0 && b <= buckets.(i - 1) then
+            invalid_arg "Metrics.observe: buckets not ascending")
+        buckets;
+      let h =
+        {
+          h_buckets = Array.copy buckets;
+          h_counts = Array.make (Array.length buckets + 1) 0;
+          h_count = 0;
+          h_sum = 0.;
+          h_min = nan;
+          h_max = nan;
+        }
+      in
+      hist_observe h v;
+      Hashtbl.add t.hists name h)
+
+let observe_int name v =
+  match !current with
+  | None -> ()  (* short-circuit before any float boxing *)
+  | Some _ -> observe name (float_of_int v)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge_value t name =
+  Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+type hist_snap = {
+  hs_buckets : float array;
+  hs_counts : int array;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+}
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * float) list;
+  sn_hists : (string * hist_snap) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot t =
+  {
+    sn_counters = sorted_bindings t.counters ( ! );
+    sn_gauges = sorted_bindings t.gauges ( ! );
+    sn_hists =
+      sorted_bindings t.hists (fun h ->
+        {
+          hs_buckets = Array.copy h.h_buckets;
+          hs_counts = Array.copy h.h_counts;
+          hs_count = h.h_count;
+          hs_sum = h.h_sum;
+          hs_min = h.h_min;
+          hs_max = h.h_max;
+        });
+  }
+
+let diff ~before ~after =
+  let counters =
+    List.map
+      (fun (k, v) ->
+        match List.assoc_opt k before.sn_counters with
+        | Some v0 -> (k, v - v0)
+        | None -> (k, v))
+      after.sn_counters
+  in
+  let hists =
+    List.map
+      (fun (k, (h : hist_snap)) ->
+        match List.assoc_opt k before.sn_hists with
+        | Some h0 when Array.length h0.hs_buckets = Array.length h.hs_buckets ->
+          ( k,
+            {
+              h with
+              hs_counts = Array.mapi (fun i c -> c - h0.hs_counts.(i)) h.hs_counts;
+              hs_count = h.hs_count - h0.hs_count;
+              hs_sum = h.hs_sum -. h0.hs_sum;
+            } )
+        | _ -> (k, h))
+      after.sn_hists
+  in
+  { sn_counters = counters; sn_gauges = after.sn_gauges; sn_hists = hists }
+
+let hist_mean h = if h.hs_count = 0 then nan else h.hs_sum /. float_of_int h.hs_count
+
+let hist_to_json (h : hist_snap) =
+  Json.Obj
+    [
+      ("buckets", Json.List (Array.to_list h.hs_buckets |> List.map (fun b -> Json.Float b)));
+      ("counts", Json.List (Array.to_list h.hs_counts |> List.map (fun c -> Json.Int c)));
+      ("count", Json.Int h.hs_count);
+      ("sum", Json.Float h.hs_sum);
+      ("min", Json.Float h.hs_min);
+      ("max", Json.Float h.hs_max);
+      ("mean", Json.Float (hist_mean h));
+    ]
+
+let to_json s =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.sn_counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.sn_gauges) );
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) s.sn_hists));
+    ]
+
+let render s =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
+  if s.sn_counters <> [] then begin
+    line "counters:";
+    List.iter (fun (k, v) -> line "  %-32s %12d" k v) s.sn_counters
+  end;
+  if s.sn_gauges <> [] then begin
+    line "gauges:";
+    List.iter (fun (k, v) -> line "  %-32s %12.3f" k v) s.sn_gauges
+  end;
+  if s.sn_hists <> [] then begin
+    line "histograms:";
+    List.iter
+      (fun (k, h) ->
+        line "  %-32s n=%d mean=%.2f min=%.0f max=%.0f" k h.hs_count
+          (hist_mean h) h.hs_min h.hs_max;
+        let n = Array.length h.hs_buckets in
+        for i = 0 to n do
+          if h.hs_counts.(i) > 0 then
+            let label =
+              if i = n then Printf.sprintf ">%g" h.hs_buckets.(n - 1)
+              else Printf.sprintf "<=%g" h.hs_buckets.(i)
+            in
+            line "    %-10s %8d" label h.hs_counts.(i)
+        done)
+      s.sn_hists
+  end;
+  Buffer.contents buf

@@ -1,0 +1,173 @@
+type value = Json.t
+
+type span = {
+  sp_id : int;
+  sp_name : string;
+  sp_attrs : (string * value) list;
+  sp_parent : int;
+  sp_depth : int;
+  sp_start_ns : int64;
+  sp_stop_ns : int64;
+}
+
+(* Open spans live on a stack; closing moves them to [done_rev]. *)
+type open_span = {
+  os_id : int;
+  os_name : string;
+  mutable os_attrs : (string * value) list;
+  os_parent : int;
+  os_depth : int;
+  os_start_ns : int64;
+}
+
+type t = {
+  mutable next_id : int;
+  mutable stack : open_span list;
+  mutable done_rev : span list;
+}
+
+let create () = { next_id = 0; stack = []; done_rev = [] }
+
+let current : t option ref = ref None
+let install t = current := Some t
+let uninstall () = current := None
+let installed () = !current
+let enabled () = !current <> None
+
+let with_collector t f =
+  let prev = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+let with_span ?attrs name f =
+  match !current with
+  | None -> f ()
+  | Some t ->
+    let parent, depth =
+      match t.stack with
+      | [] -> (-1, 0)
+      | p :: _ -> (p.os_id, p.os_depth + 1)
+    in
+    let os =
+      {
+        os_id = t.next_id;
+        os_name = name;
+        os_attrs = (match attrs with Some a -> a | None -> []);
+        os_parent = parent;
+        os_depth = depth;
+        os_start_ns = Clock.now_ns ();
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.stack <- os :: t.stack;
+    let close () =
+      let stop = Clock.now_ns () in
+      (match t.stack with
+      | top :: rest when top.os_id = os.os_id -> t.stack <- rest
+      | _ ->
+        (* A nested span leaked past its parent (should be impossible
+           with [with_span]); drop everything above us. *)
+        let rec unwind = function
+          | top :: rest when top.os_id <> os.os_id -> unwind rest
+          | top :: rest when top.os_id = os.os_id -> rest
+          | l -> l
+        in
+        t.stack <- unwind t.stack);
+      t.done_rev <-
+        {
+          sp_id = os.os_id;
+          sp_name = os.os_name;
+          sp_attrs = os.os_attrs;
+          sp_parent = os.os_parent;
+          sp_depth = os.os_depth;
+          sp_start_ns = os.os_start_ns;
+          sp_stop_ns = stop;
+        }
+        :: t.done_rev
+    in
+    Fun.protect ~finally:close f
+
+let add_attr key v =
+  match !current with
+  | None -> ()
+  | Some t -> (
+    match t.stack with
+    | [] -> ()
+    | top :: _ -> top.os_attrs <- (key, v) :: top.os_attrs)
+
+let spans t =
+  List.sort
+    (fun a b -> compare (a.sp_start_ns, a.sp_id) (b.sp_start_ns, b.sp_id))
+    t.done_rev
+
+let find t name = List.filter (fun s -> s.sp_name = name) (spans t)
+
+let duration_ns s = Int64.sub s.sp_stop_ns s.sp_start_ns
+let duration_ms s = Clock.ns_to_ms (duration_ns s)
+
+let total_ns t =
+  List.fold_left
+    (fun acc s -> if s.sp_parent = -1 then Int64.add acc (duration_ns s) else acc)
+    0L (spans t)
+
+let epoch t =
+  List.fold_left
+    (fun acc s -> if s.sp_start_ns < acc then s.sp_start_ns else acc)
+    Int64.max_int t.done_rev
+
+let to_chrome_json ?(process_name = "hlsb") t =
+  let ss = spans t in
+  let t0 = epoch t in
+  let rel ns = Clock.ns_to_us (Int64.sub ns t0) in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
+  let events =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("name", Json.Str s.sp_name);
+            ("cat", Json.Str "hlsb");
+            ("ph", Json.Str "X");
+            ("ts", Json.Float (rel s.sp_start_ns));
+            ("dur", Json.Float (Clock.ns_to_us (duration_ns s)));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ("args", Json.Obj s.sp_attrs);
+          ])
+      ss
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta :: events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let render t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      let attrs =
+        match s.sp_attrs with
+        | [] -> ""
+        | a ->
+          "  ["
+          ^ String.concat ", "
+              (List.map (fun (k, v) -> k ^ "=" ^ Json.to_string v) a)
+          ^ "]"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-*s %9.2f ms%s\n"
+           (String.make (2 * s.sp_depth) ' ')
+           (32 - (2 * s.sp_depth))
+           s.sp_name (duration_ms s) attrs))
+    (spans t);
+  Buffer.contents buf

@@ -1,0 +1,71 @@
+(** Span-based tracer. Instrumented code wraps regions in
+    {!with_span}; when a trace collector is installed the region is
+    recorded as a nested monotonic-clock span, otherwise the thunk runs
+    directly (the disabled path is a [ref] dereference and a branch —
+    no allocation, no clock read).
+
+    Completed traces export as Chrome [trace_event] JSON — load the
+    file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}
+    — or render as a flat indented text tree. *)
+
+type value = Json.t
+(** Span attribute values. *)
+
+type span = {
+  sp_id : int;
+  sp_name : string;
+  sp_attrs : (string * value) list;
+  sp_parent : int;  (** [sp_id] of the enclosing span, [-1] for roots *)
+  sp_depth : int;  (** 0 for roots *)
+  sp_start_ns : int64;
+  sp_stop_ns : int64;
+}
+
+type t
+
+val create : unit -> t
+
+(** {1 Global installation} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val installed : unit -> t option
+val enabled : unit -> bool
+
+val with_collector : t -> (unit -> 'a) -> 'a
+(** Install [t], run the thunk, restore the previous collector (also on
+    exceptions). *)
+
+(** {1 Recording} *)
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span. Nested calls record parentage.
+    The span is closed even if the thunk raises. *)
+
+val add_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span; no-op when disabled
+    or outside any span. *)
+
+(** {1 Inspection & export} *)
+
+val spans : t -> span list
+(** Completed spans in start order. Spans still open are not listed. *)
+
+val find : t -> string -> span list
+(** Completed spans with the given name, in start order. *)
+
+val duration_ns : span -> int64
+val duration_ms : span -> float
+
+val total_ns : t -> int64
+(** Sum of root-span durations. *)
+
+val to_chrome_json : ?process_name:string -> t -> Json.t
+(** Chrome [trace_event] "JSON object format": [{"traceEvents": [...]}]
+    with one complete ("ph":"X") event per span, microsecond
+    timestamps relative to the earliest span, and span attributes in
+    ["args"]. *)
+
+val render : t -> string
+(** Flat text tree: one line per span, indented by nesting depth, with
+    millisecond durations. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "broadcast_hls"
     [
       ("util", T_util.suite);
+      ("telemetry", T_telemetry.suite);
       ("ir", T_ir.suite);
       ("device", T_device.suite);
       ("netlist", T_netlist.suite);
