@@ -9,6 +9,17 @@
    snapshot. Set HLSB_PROFILE_DIR to choose the output directory
    (default: current directory); set it to the empty string to skip.
 
+   Options:
+     --jobs N        worker domains for parallel sections (default:
+                     HLSB_JOBS, then the core count)
+     --only a,b,c    run only the named sections
+     --json PATH     append a run record (per-section wall-clock from the
+                     telemetry spans, plus calibration-cache counters) to
+                     PATH; the file accumulates runs so cold/warm and
+                     sequential/parallel runs can sit side by side
+     --label STR     free-form label stored in the run record
+     --no-bechamel   skip the Bechamel micro-timing pass
+
    Sections:
      table1  - Table 1: nine benchmarks, original vs optimized
      table2  - Table 2: 512-wide vector product control variants
@@ -21,6 +32,7 @@
      ablation- design-choice ablations from DESIGN.md section 8 *)
 
 module Experiments = Core.Experiments
+module Pool = Hlsb_util.Pool
 module Trace = Hlsb_telemetry.Trace
 module Metrics = Hlsb_telemetry.Metrics
 module Json = Hlsb_telemetry.Json
@@ -41,58 +53,82 @@ let timed name f =
     | [] -> ()));
   r
 
-let run_all_experiments () =
-  section "Table 1: timing improvements and post-implementation resources";
-  let t1 = timed "table1" (fun () -> Experiments.run_table1 ()) in
-  print_string (Experiments.render_table1 t1);
-  Printf.printf
-    "paper: 53%% average frequency gain; measured average: %.0f%%\n"
-    (List.fold_left
-       (fun acc (r : Experiments.table1_row) ->
-         acc
-         +. Core.Flow.improvement_pct ~orig:r.Experiments.t1_orig
-              ~opt:r.Experiments.t1_opt)
-       0. t1
-    /. float_of_int (List.length t1));
+(* Each section is (name, title, body); the body prints its own tables so
+   the default full run keeps the paper's layout and ordering. *)
+let sections =
+  [
+    ( "table1",
+      "Table 1: timing improvements and post-implementation resources",
+      fun () ->
+        let t1 = Experiments.run_table1 () in
+        print_string (Experiments.render_table1 t1);
+        Printf.printf
+          "paper: 53%% average frequency gain; measured average: %.0f%%\n"
+          (List.fold_left
+             (fun acc (r : Experiments.table1_row) ->
+               acc
+               +. Core.Flow.improvement_pct ~orig:r.Experiments.t1_orig
+                    ~opt:r.Experiments.t1_opt)
+             0. t1
+          /. float_of_int (List.length t1)) );
+    ( "table2",
+      "Table 2: 512-wide vector product (stall / skid / min-area skid)",
+      fun () ->
+        print_string
+          (Experiments.render_variants ~title:"(paper: 195 / 299 / 301 MHz)"
+             (Experiments.run_table2 ())) );
+    ( "table3",
+      "Table 3: pattern matching (original / data opt / data+ctrl opt)",
+      fun () ->
+        print_string
+          (Experiments.render_variants ~title:"(paper: 187 / 208 / 278 MHz)"
+             (Experiments.run_table3 ())) );
+    ( "fig9",
+      "Figure 9: delay vs broadcast factor (HLS est / measured / calibrated)",
+      fun () -> print_string (Experiments.render_fig9 (Experiments.run_fig9 ())) );
+    ( "fig15",
+      "Figure 15: genome case study (delay estimates and Fmax vs unroll)",
+      fun () ->
+        print_string (Experiments.render_fig15 (Experiments.run_fig15 ()));
+        print_string
+          "(paper Fig. 15b: HLS schedule degrades with unroll; the \
+           broadcast-aware\n\
+          \ schedule holds its frequency — orig 264 -> opt 341 MHz at unroll \
+           64)\n" );
+    ( "fig16",
+      "Figure 16: Jacobi super-pipeline Fmax vs iterations (stall vs skid)",
+      fun () ->
+        print_string (Experiments.render_fig16 (Experiments.run_fig16 ()));
+        print_string
+          "(paper: stall falls to 120 MHz by 8 iterations; skid holds ~253 \
+           MHz)\n" );
+    ( "fig17",
+      "Figure 17: stage widths and min-area skid buffers (32-wide (a.b)*c)",
+      fun () ->
+        print_string (Experiments.render_fig17 (Experiments.run_fig17 ()));
+        print_string "(paper: 63488 bits end-only vs 7968 bits split = 8.0x)\n" );
+    ( "fig19",
+      "Figure 19: stream buffer Fmax vs buffer size",
+      fun () ->
+        print_string (Experiments.render_fig19 (Experiments.run_fig19 ()));
+        print_string
+          "(paper: original collapses with size; only data+ctrl optimization \
+           scales)\n" );
+    ( "ablation",
+      "Ablations (DESIGN.md section 8)",
+      fun () ->
+        print_string (Experiments.render_ablations (Experiments.run_ablations ()))
+    );
+  ]
 
-  section "Table 2: 512-wide vector product (stall / skid / min-area skid)";
-  let t2 = timed "table2" (fun () -> Experiments.run_table2 ()) in
-  print_string (Experiments.render_variants ~title:"(paper: 195 / 299 / 301 MHz)" t2);
-
-  section "Table 3: pattern matching (original / data opt / data+ctrl opt)";
-  let t3 = timed "table3" (fun () -> Experiments.run_table3 ()) in
-  print_string (Experiments.render_variants ~title:"(paper: 187 / 208 / 278 MHz)" t3);
-
-  section "Figure 9: delay vs broadcast factor (HLS est / measured / calibrated)";
-  let f9 = timed "fig9" (fun () -> Experiments.run_fig9 ()) in
-  print_string (Experiments.render_fig9 f9);
-
-  section "Figure 15: genome case study (delay estimates and Fmax vs unroll)";
-  let f15 = timed "fig15" (fun () -> Experiments.run_fig15 ()) in
-  print_string (Experiments.render_fig15 f15);
-  print_string
-    "(paper Fig. 15b: HLS schedule degrades with unroll; the broadcast-aware\n\
-    \ schedule holds its frequency — orig 264 -> opt 341 MHz at unroll 64)\n";
-
-  section "Figure 16: Jacobi super-pipeline Fmax vs iterations (stall vs skid)";
-  let f16 = timed "fig16" (fun () -> Experiments.run_fig16 ()) in
-  print_string (Experiments.render_fig16 f16);
-  print_string "(paper: stall falls to 120 MHz by 8 iterations; skid holds ~253 MHz)\n";
-
-  section "Figure 17: stage widths and min-area skid buffers (32-wide (a.b)*c)";
-  let f17 = timed "fig17" (fun () -> Experiments.run_fig17 ()) in
-  print_string (Experiments.render_fig17 f17);
-  print_string "(paper: 63488 bits end-only vs 7968 bits split = 8.0x)\n";
-
-  section "Figure 19: stream buffer Fmax vs buffer size";
-  let f19 = timed "fig19" (fun () -> Experiments.run_fig19 ()) in
-  print_string (Experiments.render_fig19 f19);
-  print_string
-    "(paper: original collapses with size; only data+ctrl optimization scales)\n";
-
-  section "Ablations (DESIGN.md section 8)";
-  let ab = timed "ablation" (fun () -> Experiments.run_ablations ()) in
-  print_string (Experiments.render_ablations ab)
+let run_all_experiments ~only () =
+  List.iter
+    (fun (name, title, body) ->
+      if only = [] || List.mem name only then begin
+        section title;
+        timed name body
+      end)
+    sections
 
 (* ---- Bechamel micro-timing of each experiment driver ---- *)
 
@@ -160,17 +196,118 @@ let write_profile trace registry =
     Printf.printf "profile: %s (chrome://tracing / Perfetto), %s\n" trace_path
       metrics_path
 
+(* ---- Run record: per-section wall-clock appended to a JSON file ---- *)
+
+let section_times trace =
+  List.filter_map
+    (fun (name, _, _) ->
+      match Trace.find trace name with
+      | [] -> None
+      | spans ->
+        let ms =
+          List.fold_left (fun acc s -> acc +. Trace.duration_ms s) 0. spans
+        in
+        Some (name, ms))
+    sections
+
+let run_record ~label ~jobs trace registry =
+  let snap = Metrics.snapshot registry in
+  let counter name =
+    List.assoc_opt name snap.Metrics.sn_counters |> Option.value ~default:0
+  in
+  Json.Obj
+    [
+      ("label", Json.Str label);
+      ("jobs", Json.Int jobs);
+      ( "cache_dir",
+        match Hlsb_delay.Cal_cache.ambient_dir () with
+        | Some d -> Json.Str d
+        | None -> Json.Null );
+      ( "sections_s",
+        Json.Obj
+          (List.map (fun (n, ms) -> (n, Json.Float (ms /. 1e3))) (section_times trace)) );
+      ("total_s", Json.Float (Int64.to_float (Trace.total_ns trace) /. 1e9));
+      ( "calibrate",
+        Json.Obj
+          [
+            ("curve_builds", Json.Int (counter "calibrate.curve_builds"));
+            ("cache_hits", Json.Int (counter "calibrate.cache_hits"));
+            ("cache_misses", Json.Int (counter "calibrate.cache_misses"));
+            ("cache_writes", Json.Int (counter "calibrate.cache_writes"));
+          ] );
+    ]
+
+let append_run_record ~path record =
+  let existing =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.of_string text with
+      | Ok (Json.Obj fields) -> (
+        match List.assoc_opt "runs" fields with
+        | Some (Json.List runs) -> runs
+        | _ -> [])
+      | _ -> []
+    end
+    else []
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "hlsb-bench/1");
+        ("runs", Json.List (existing @ [ record ]));
+      ]
+  in
+  write_text ~path (Json.to_string ~minify:false doc ^ "\n");
+  Printf.printf "bench record appended to %s\n" path
+
 let () =
+  let jobs = ref 0 in
+  let only = ref [] in
+  let json_path = ref "" in
+  let label = ref "" in
+  let no_bechamel = ref false in
+  let split_csv s = String.split_on_char ',' s |> List.filter (( <> ) "") in
+  Arg.parse
+    [
+      ("--jobs", Arg.Set_int jobs, "N  worker domains for parallel sections");
+      ( "--only",
+        Arg.String (fun s -> only := split_csv s),
+        "a,b,c  run only the named sections" );
+      ("--json", Arg.Set_string json_path, "PATH  append a run record to PATH");
+      ("--label", Arg.Set_string label, "STR  label stored in the run record");
+      ("--no-bechamel", Arg.Set no_bechamel, "  skip the Bechamel pass");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--jobs N] [--only sections] [--json PATH] [--label STR] [--no-bechamel]";
+  if !jobs > 0 then Pool.set_default_jobs !jobs;
+  List.iter
+    (fun s ->
+      if not (List.exists (fun (n, _, _) -> n = s) sections) then begin
+        Printf.eprintf "unknown section %S\n" s;
+        exit 2
+      end)
+    !only;
   Printf.printf
     "Broadcast-aware HLS timing optimization - evaluation reproduction\n\
      (DAC 2020: Analysis and Optimization of the Implicit Broadcasts in\n\
     \ FPGA HLS to Improve Maximum Frequency)\n";
+  Printf.printf "jobs: %d\n" (Pool.default_jobs ());
   let trace = Trace.create () in
   let registry = Metrics.create () in
   Trace.with_collector trace (fun () ->
     Metrics.with_registry registry (fun () ->
-      Trace.with_span "evaluation" run_all_experiments;
-      Trace.with_span "bechamel" bechamel_suite));
+      Trace.with_span "evaluation" (run_all_experiments ~only:!only);
+      if not !no_bechamel then Trace.with_span "bechamel" bechamel_suite));
   Printf.printf "\nTotal evaluation time: %.1fs\n"
     (Int64.to_float (Trace.total_ns trace) /. 1e9);
-  write_profile trace registry
+  write_profile trace registry;
+  if !json_path <> "" then begin
+    let label = if !label <> "" then !label else "run" in
+    append_run_record ~path:!json_path
+      (run_record ~label ~jobs:(Pool.default_jobs ()) trace registry)
+  end

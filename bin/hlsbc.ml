@@ -7,11 +7,15 @@
      profile   DESIGN         compile with telemetry: spans + metrics
      path      DESIGN         critical path under a recipe
      schedule  DESIGN         schedule report of the design's first kernel
+     calibrate                warm / inspect / clear the calibration cache
      table1|table2|table3     regenerate the paper's tables
      fig9|fig15|fig16|fig17|fig19   regenerate the paper's figures
      ablation                 design-choice ablations *)
 
 module Experiments = Core.Experiments
+module Pool = Hlsb_util.Pool
+module Calibrate = Hlsb_delay.Calibrate
+module Cal_cache = Hlsb_delay.Cal_cache
 module Style = Hlsb_ctrl.Style
 module Spec = Hlsb_designs.Spec
 module Timing = Hlsb_physical.Timing
@@ -84,6 +88,20 @@ let recipe_arg =
     & info [ "r"; "recipe" ] ~docv:"RECIPE"
         ~doc:"original | optimized | sched-only | ctrl-only")
 
+(* Shared --jobs term: a positive value overrides HLSB_JOBS for the whole
+   process (characterization fan-out and parallel experiment drivers). *)
+let jobs_term =
+  let arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel characterization (default: \
+             \\$(b,HLSB_JOBS), then the core count).")
+  in
+  Term.(const (fun n -> if n > 0 then Pool.set_default_jobs n) $ arg)
+
 let cmd_list =
   let run () =
     print_endline "benchmark designs (Table 1):";
@@ -116,7 +134,7 @@ let compile name recipe =
   Core.Flow.compile_spec ~recipe:(recipe_of recipe) s
 
 let cmd_compile =
-  let run name recipe json =
+  let run () name recipe json =
     let r = compile name recipe in
     if json then
       print_endline (Json.to_string ~minify:false (Core.Flow.result_to_json r))
@@ -129,7 +147,7 @@ let cmd_compile =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a benchmark and report Fmax/resources")
-    Term.(const run $ design_arg $ recipe_arg $ json_arg)
+    Term.(const run $ jobs_term $ design_arg $ recipe_arg $ json_arg)
 
 let write_text ~path text =
   match open_out path with
@@ -142,7 +160,7 @@ let write_text ~path text =
       (fun () -> output_string oc text)
 
 let cmd_profile =
-  let run name recipe trace_out metrics_out quiet =
+  let run () name recipe trace_out metrics_out quiet =
     let s = find_design name in
     let trace = Trace.create () in
     let registry = Metrics.create () in
@@ -229,7 +247,9 @@ let cmd_profile =
        ~doc:
          "Compile a benchmark with telemetry enabled: nested spans for \
           elaborate/schedule/lower/timing plus broadcast/occupancy metrics")
-    Term.(const run $ design_arg $ recipe_arg $ trace_arg $ metrics_arg $ quiet_arg)
+    Term.(
+      const run $ jobs_term $ design_arg $ recipe_arg $ trace_arg $ metrics_arg
+      $ quiet_arg)
 
 let cmd_path =
   let run name recipe =
@@ -341,6 +361,118 @@ let cmd_emit =
     (Cmd.info "emit" ~doc:"Export a compiled benchmark's netlist (DOT/Verilog)")
     Term.(const run $ design_arg $ recipe_arg $ fmt_arg $ out_arg)
 
+let cmd_calibrate =
+  let warm_ops =
+    (* everything the benchmark suite's schedules actually look up *)
+    let open Hlsb_ir in
+    [
+      (Op.Add, Dtype.Int 32);
+      (Op.Sub, Dtype.Int 32);
+      (Op.Mul, Dtype.Int 32);
+      (Op.Fadd, Dtype.Float32);
+      (Op.Fmul, Dtype.Float32);
+    ]
+  in
+  let devices_of = function
+    | None -> Hlsb_device.Device.all
+    | Some name -> (
+      match Hlsb_device.Device.find name with
+      | Some d -> [ d ]
+      | None ->
+        Printf.eprintf "unknown device %S; available:\n" name;
+        List.iter
+          (fun (d : Hlsb_device.Device.t) ->
+            Printf.eprintf "  %s\n" d.Hlsb_device.Device.name)
+          Hlsb_device.Device.all;
+        exit 1)
+  in
+  let inspect dir =
+    Printf.printf "calibration cache: %s\n" dir;
+    let paths = Cal_cache.entries ~dir in
+    if paths = [] then print_endline "  (empty)"
+    else
+      List.iter
+        (fun path ->
+          match
+            Cal_cache.summarize ~factor_grid:Calibrate.factor_grid
+              ~unit_grid:Calibrate.unit_grid path
+          with
+          | None -> Printf.printf "  %s: unreadable\n" (Filename.basename path)
+          | Some s ->
+            Printf.printf "  %s: device %s, schema v%d, %s\n"
+              (Filename.basename path) s.Cal_cache.s_device s.Cal_cache.s_schema
+              (if not s.Cal_cache.s_valid then "STALE (will re-characterize)"
+               else
+                 Printf.sprintf "%d op curve(s)%s%s"
+                   (List.length s.Cal_cache.s_ops)
+                   (if s.Cal_cache.s_has_mem_wr then " + mem write" else "")
+                   (if s.Cal_cache.s_has_mem_rd then " + mem read" else ""));
+            if s.Cal_cache.s_valid && s.Cal_cache.s_ops <> [] then
+              Printf.printf "      ops: %s\n"
+                (String.concat ", " s.Cal_cache.s_ops))
+        paths
+  in
+  let run () dir_flag warm clear device =
+    let dir =
+      match dir_flag with
+      | Some d -> Some d
+      | None -> Cal_cache.ambient_dir ()
+    in
+    match dir with
+    | None ->
+      Printf.eprintf
+        "calibration cache disabled (HLSB_CACHE_DIR is empty and no HOME); \
+         pass --dir\n";
+      exit 1
+    | Some dir ->
+      if clear then begin
+        let n = Cal_cache.clear ~dir in
+        Printf.printf "removed %d cache file(s) from %s\n" n dir
+      end;
+      if warm then
+        List.iter
+          (fun (d : Hlsb_device.Device.t) ->
+            let cal = Calibrate.create ~cache_dir:dir d in
+            Printf.printf "warming %s (%d ops + mem curves)...%!"
+              d.Hlsb_device.Device.name (List.length warm_ops);
+            Calibrate.warm ~ops:warm_ops ~mem:true cal;
+            Printf.printf " done\n%!")
+          (devices_of device);
+      if not (warm || clear) then inspect dir
+      else if warm then inspect dir
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Cache directory (default: \\$(b,HLSB_CACHE_DIR), then \
+                \\$(b,XDG_CACHE_HOME)/hlsb).")
+  in
+  let warm_arg =
+    Arg.(
+      value & flag
+      & info [ "warm" ]
+          ~doc:"Characterize the standard op and memory curves into the cache.")
+  in
+  let clear_arg =
+    Arg.(value & flag & info [ "clear" ] ~doc:"Remove all cache files.")
+  in
+  let device_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "d"; "device" ] ~docv:"DEVICE"
+          ~doc:"Warm only this device (default: all devices).")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Inspect, warm, or clear the persistent calibration cache \
+          (post-route delay curves keyed by device fingerprint)")
+    Term.(
+      const run $ jobs_term $ dir_arg $ warm_arg $ clear_arg $ device_arg)
+
 let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
 let cmd_table1 =
@@ -396,6 +528,7 @@ let () =
             cmd_classify;
             cmd_compile;
             cmd_profile;
+            cmd_calibrate;
             cmd_path;
             cmd_schedule;
             cmd_cc;

@@ -9,6 +9,7 @@ module Timing = Hlsb_physical.Timing
 module Design = Hlsb_rtlgen.Design
 module Spec = Hlsb_designs.Spec
 module Table = Hlsb_util.Table
+module Pool = Hlsb_util.Pool
 
 (* ---------- Table 1 ---------- *)
 
@@ -21,7 +22,7 @@ type table1_row = {
   t1_paper : Spec.paper_numbers;
 }
 
-let run_table1 ?subset () =
+let run_table1 ?subset ?jobs () =
   let specs =
     match subset with
     | None -> Hlsb_designs.Suite.all
@@ -30,7 +31,9 @@ let run_table1 ?subset () =
         (fun s -> List.mem s.Spec.sp_name names)
         Hlsb_designs.Suite.all
   in
-  List.map
+  (* Each benchmark compiles twice (original/optimized recipes); rows are
+     independent, so fan them out across the pool. *)
+  Pool.map_list ?jobs
     (fun spec ->
       let orig = Flow.compile_spec ~recipe:Style.original spec in
       let opt = Flow.compile_spec ~recipe:Style.optimized spec in
@@ -193,13 +196,17 @@ type fig9_series = {
   f9_rows : Calibrate.curve_row list;
 }
 
-let run_fig9 ?(device = Device.ultrascale_plus) () =
+let run_fig9 ?(device = Device.ultrascale_plus) ?jobs () =
   let cal = Calibrate.shared device in
-  [
-    { f9_label = "add (int32)"; f9_rows = Calibrate.op_curve cal Op.Add (Dtype.Int 32) };
-    { f9_label = "BRAM write (int32 buffer)"; f9_rows = Calibrate.mem_curve cal ~width:32 };
-    { f9_label = "mul (float32)"; f9_rows = Calibrate.op_curve cal Op.Fmul Dtype.Float32 };
-  ]
+  (* The three curve families are distinct calibration keys, so they
+     characterize concurrently on the shared instance. *)
+  Pool.map_list ?jobs
+    (fun (label, build) -> { f9_label = label; f9_rows = build () })
+    [
+      ("add (int32)", fun () -> Calibrate.op_curve cal Op.Add (Dtype.Int 32));
+      ("BRAM write (int32 buffer)", fun () -> Calibrate.mem_curve cal ~width:32);
+      ("mul (float32)", fun () -> Calibrate.op_curve cal Op.Fmul Dtype.Float32);
+    ]
 
 let render_fig9 series =
   String.concat "\n"
@@ -241,10 +248,12 @@ type fig15_row = {
 
 let array_max a = Array.fold_left max 0. a
 
-let run_fig15 ?(factors = [ 8; 16; 32; 64; 128 ]) () =
+let run_fig15 ?(factors = [ 8; 16; 32; 64; 128 ]) ?jobs () =
   let dev = Device.ultrascale_plus in
   let cal = Calibrate.shared dev in
-  List.map
+  (* Shared calibrate is warmed by the first unroll point; the per-factor
+     schedule + compile pairs are independent. *)
+  Pool.map_list ?jobs
     (fun unroll ->
       let kernel () =
         Hlsb_designs.Genome.kernel ~back_search_count:unroll ~lane:0 ()
@@ -313,9 +322,9 @@ type fig16_row = {
   f16_skid_mhz : float;
 }
 
-let run_fig16 ?(iterations = [ 1; 2; 4; 8 ]) () =
+let run_fig16 ?(iterations = [ 1; 2; 4; 8 ]) ?jobs () =
   let dev = Device.ultrascale_plus in
-  List.map
+  Pool.map_list ?jobs
     (fun iters ->
       let build () = Hlsb_designs.Stencil.dataflow ~iterations:iters () in
       let stall =
@@ -428,9 +437,9 @@ type fig19_row = {
   f19_full_opt_mhz : float;
 }
 
-let run_fig19 ?(sizes = [ 8192; 16384; 32768; 65536; 131072 ]) () =
+let run_fig19 ?(sizes = [ 8192; 16384; 32768; 65536; 131072 ]) ?jobs () =
   let dev = Device.ultrascale_plus in
-  List.map
+  Pool.map_list ?jobs
     (fun words ->
       let build () = Hlsb_designs.Stream_buffer.dataflow ~depth_words:words () in
       let compile recipe name =
@@ -494,7 +503,8 @@ let run_ablations () =
   (* 1. smoothing window: registers inserted + Fmax on genome *)
   List.iter
     (fun window ->
-      let cal = Calibrate.create ~window dev in
+      (* shared, cache-backed instances: one per (device, window) *)
+      let cal = Calibrate.shared ~window dev in
       let kernel = Hlsb_designs.Genome.kernel ~lane:0 () in
       let sched = Schedule.run (Schedule.Broadcast_aware cal) kernel in
       push

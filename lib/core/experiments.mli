@@ -12,8 +12,11 @@ type table1_row = {
   t1_paper : Hlsb_designs.Spec.paper_numbers;
 }
 
-val run_table1 : ?subset:string list -> unit -> table1_row list
-(** All nine benchmarks (or the named subset), original vs optimized. *)
+val run_table1 : ?subset:string list -> ?jobs:int -> unit -> table1_row list
+(** All nine benchmarks (or the named subset), original vs optimized.
+    Benchmarks compile independently and fan out across the
+    {!Hlsb_util.Pool}; rows come back in benchmark order regardless of the
+    job count. *)
 
 val render_table1 : table1_row list -> string
 
@@ -36,7 +39,8 @@ type fig9_series = {
   f9_rows : Hlsb_delay.Calibrate.curve_row list;
 }
 
-val run_fig9 : ?device:Hlsb_device.Device.t -> unit -> fig9_series list
+val run_fig9 :
+  ?device:Hlsb_device.Device.t -> ?jobs:int -> unit -> fig9_series list
 (** Delay vs broadcast factor: int add, BRAM write (by depth), float mul. *)
 
 val render_fig9 : fig9_series list -> string
@@ -50,7 +54,7 @@ type fig15_row = {
   f15_opt_mhz : float;  (** Fig. 15b: broadcast-aware schedule *)
 }
 
-val run_fig15 : ?factors:int list -> unit -> fig15_row list
+val run_fig15 : ?factors:int list -> ?jobs:int -> unit -> fig15_row list
 val render_fig15 : fig15_row list -> string
 
 type fig16_row = {
@@ -60,7 +64,7 @@ type fig16_row = {
   f16_skid_mhz : float;
 }
 
-val run_fig16 : ?iterations:int list -> unit -> fig16_row list
+val run_fig16 : ?iterations:int list -> ?jobs:int -> unit -> fig16_row list
 val render_fig16 : fig16_row list -> string
 
 type fig17_result = {
@@ -82,7 +86,7 @@ type fig19_row = {
   f19_full_opt_mhz : float;
 }
 
-val run_fig19 : ?sizes:int list -> unit -> fig19_row list
+val run_fig19 : ?sizes:int list -> ?jobs:int -> unit -> fig19_row list
 val render_fig19 : fig19_row list -> string
 
 type ablation_row = {

@@ -1,0 +1,236 @@
+(* Persistent on-disk store for characterization curves.
+
+   Characterizing one operator costs a full netlist build + placement + STA
+   per grid point; the raw measured curves are a pure function of the device
+   timing model, the skeleton generators, and the grids, so they can be
+   reused across processes.  One JSON file per device holds every raw curve
+   measured on it; smoothing is applied in memory by [Calibrate] (it depends
+   on the window, which is deliberately not part of the key).
+
+   A file is valid only if its schema version, device fingerprint, and both
+   grids match the running binary exactly — anything else is treated as a
+   miss and silently re-characterized.  Bump [schema_version] whenever
+   [Characterize], [Timing], or [Placement] change measured values. *)
+
+module Device = Hlsb_device.Device
+module Json = Hlsb_telemetry.Json
+
+let schema_version = 1
+
+let env_var = "HLSB_CACHE_DIR"
+
+(* Resolution: $HLSB_CACHE_DIR ("" disables caching entirely), else
+   $XDG_CACHE_HOME/hlsb, else $HOME/.cache/hlsb, else disabled. *)
+let ambient_dir () =
+  match Sys.getenv_opt env_var with
+  | Some "" -> None
+  | Some d -> Some d
+  | None -> (
+    let base =
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Some d
+      | _ -> (
+        match Sys.getenv_opt "HOME" with
+        | Some h when h <> "" -> Some (Filename.concat h ".cache")
+        | _ -> None)
+    in
+    Option.map (fun b -> Filename.concat b "hlsb") base)
+
+(* Everything that feeds the delay model: a device renamed or retimed must
+   not reuse curves measured under the old numbers. *)
+let fingerprint (d : Device.t) =
+  Printf.sprintf "%s|%s|%dx%d|s%d.%d|b%d|d%d|%g|%g|%g|%g|%g|%g" d.Device.name
+    d.Device.family d.Device.cols d.Device.rows d.Device.lut_per_slice
+    d.Device.ff_per_slice d.Device.bram_col_every d.Device.dsp_col_every
+    d.Device.t_clk_q d.Device.t_setup d.Device.t_lut d.Device.t_net_base
+    d.Device.t_net_fanout d.Device.t_net_dist
+
+type entry = {
+  e_ops : (string * float array) list;  (* "op/dtype" -> raw arith curve *)
+  e_mem_wr : float array option;
+  e_mem_rd : float array option;
+}
+
+let empty = { e_ops = []; e_mem_wr = None; e_mem_rd = None }
+
+let file_name (d : Device.t) =
+  Printf.sprintf "cal-v%d-%s.json" schema_version d.Device.name
+
+let file_path ~dir d = Filename.concat dir (file_name d)
+
+let int_grid_json g = Json.List (Array.to_list g |> List.map (fun v -> Json.Int v))
+
+let curve_json c = Json.List (Array.to_list c |> List.map (fun v -> Json.Float v))
+
+let to_json ~factor_grid ~unit_grid d e =
+  let mem =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun c -> (k, curve_json c)) v)
+      [ ("write", e.e_mem_wr); ("read", e.e_mem_rd) ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("device", Json.Str d.Device.name);
+      ("fingerprint", Json.Str (fingerprint d));
+      ("factor_grid", int_grid_json factor_grid);
+      ("unit_grid", int_grid_json unit_grid);
+      ("ops", Json.Obj (List.map (fun (k, c) -> (k, curve_json c)) e.e_ops));
+      ("mem", Json.Obj mem);
+    ]
+
+let curve_of_json ~len = function
+  | Json.List items when List.length items = len ->
+    let ok = ref true in
+    let arr =
+      Array.of_list
+        (List.map
+           (function
+             | Json.Float f -> f
+             | Json.Int i -> float_of_int i
+             | _ ->
+               ok := false;
+               0.)
+           items)
+    in
+    if !ok then Some arr else None
+  | _ -> None
+
+let grid_matches json g =
+  match json with
+  | Some (Json.List items) ->
+    List.length items = Array.length g
+    && List.for_all2 (fun j v -> j = Json.Int v) items (Array.to_list g)
+  | _ -> false
+
+let of_json ~factor_grid ~unit_grid d json =
+  let check name v = Json.member name json = Some v in
+  if
+    check "schema" (Json.Int schema_version)
+    && check "device" (Json.Str d.Device.name)
+    && check "fingerprint" (Json.Str (fingerprint d))
+    && grid_matches (Json.member "factor_grid" json) factor_grid
+    && grid_matches (Json.member "unit_grid" json) unit_grid
+  then begin
+    let ops =
+      match Json.member "ops" json with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) ->
+            Option.map
+              (fun c -> (k, c))
+              (curve_of_json ~len:(Array.length factor_grid) v))
+          fields
+      | _ -> []
+    in
+    let mem k =
+      Option.bind (Json.member "mem" json) (Json.member k)
+      |> Option.map (curve_of_json ~len:(Array.length unit_grid))
+      |> Option.join
+    in
+    Some { e_ops = ops; e_mem_wr = mem "write"; e_mem_rd = mem "read" }
+  end
+  else None
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let load ~dir ~factor_grid ~unit_grid d =
+  let path = file_path ~dir d in
+  match read_file path with
+  | None -> None
+  | Some text -> (
+    match Json.of_string text with
+    | Error _ -> None
+    | Ok json -> of_json ~factor_grid ~unit_grid d json)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Atomic write-then-rename; the temp name carries the domain id so
+   concurrent writers (identical payload by determinism) never collide. *)
+let store ~dir ~factor_grid ~unit_grid d e =
+  mkdir_p dir;
+  let path = file_path ~dir d in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Json.to_string ~minify:false (to_json ~factor_grid ~unit_grid d e));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let is_cache_file name =
+  String.length name > 4
+  && String.sub name 0 4 = "cal-"
+  && Filename.check_suffix name ".json"
+
+let entries ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter is_cache_file
+    |> List.sort compare
+    |> List.map (fun f -> Filename.concat dir f)
+
+let clear ~dir =
+  let files = entries ~dir in
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) files;
+  List.length files
+
+type summary = {
+  s_path : string;
+  s_device : string;
+  s_schema : int;
+  s_valid : bool;  (* fingerprint + grids match a known device *)
+  s_ops : string list;
+  s_has_mem_wr : bool;
+  s_has_mem_rd : bool;
+}
+
+let summarize ~factor_grid ~unit_grid path =
+  match read_file path with
+  | None -> None
+  | Some text -> (
+    match Json.of_string text with
+    | Error _ -> None
+    | Ok json ->
+      let str k =
+        match Json.member k json with Some (Json.Str s) -> s | _ -> "?"
+      in
+      let schema =
+        match Json.member "schema" json with Some (Json.Int i) -> i | _ -> -1
+      in
+      let device = str "device" in
+      let parsed =
+        Option.bind (Device.find device) (fun d ->
+          of_json ~factor_grid ~unit_grid d json)
+      in
+      let ops, wr, rd =
+        match parsed with
+        | Some e -> (List.map fst e.e_ops, e.e_mem_wr <> None, e.e_mem_rd <> None)
+        | None -> ([], false, false)
+      in
+      Some
+        {
+          s_path = path;
+          s_device = device;
+          s_schema = schema;
+          s_valid = parsed <> None;
+          s_ops = List.sort compare ops;
+          s_has_mem_wr = wr;
+          s_has_mem_rd = rd;
+        })

@@ -1,0 +1,77 @@
+(** Persistent on-disk store for characterization curves.
+
+    Characterizing one operator costs a full netlist build + placement + STA
+    per grid point; the raw measured curves are a pure function of the
+    device timing model, the skeleton generators, and the grids, so they can
+    be reused across processes. One JSON file per device holds every raw
+    curve measured on it; smoothing is applied in memory by {!Calibrate}
+    (it depends on the window, which is deliberately not part of the key).
+
+    A file is valid only if its schema version, device fingerprint, and
+    both grids match the running binary exactly — anything else is treated
+    as a miss and silently re-characterized. *)
+
+val schema_version : int
+(** Bump whenever [Characterize], [Timing], or [Placement] change measured
+    values; stale files are ignored and overwritten. *)
+
+val env_var : string
+(** ["HLSB_CACHE_DIR"] — overrides the cache directory; set to the empty
+    string to disable caching entirely. *)
+
+val ambient_dir : unit -> string option
+(** [$HLSB_CACHE_DIR], else [$XDG_CACHE_HOME/hlsb], else
+    [$HOME/.cache/hlsb]; [None] when caching is disabled or no base
+    directory can be resolved. *)
+
+val fingerprint : Hlsb_device.Device.t -> string
+(** Every device field that feeds the delay model, flattened; a device
+    renamed or retimed must not reuse curves measured under old numbers. *)
+
+type entry = {
+  e_ops : (string * float array) list;  (** "op/dtype" -> raw arith curve *)
+  e_mem_wr : float array option;
+  e_mem_rd : float array option;
+}
+
+val empty : entry
+
+val file_path : dir:string -> Hlsb_device.Device.t -> string
+
+val load :
+  dir:string ->
+  factor_grid:int array ->
+  unit_grid:int array ->
+  Hlsb_device.Device.t ->
+  entry option
+(** [None] on a missing, unparsable, or invalid (schema / fingerprint /
+    grid mismatch) file. *)
+
+val store :
+  dir:string ->
+  factor_grid:int array ->
+  unit_grid:int array ->
+  Hlsb_device.Device.t ->
+  entry ->
+  unit
+(** Atomic write-then-rename; creates [dir] as needed. *)
+
+val entries : dir:string -> string list
+(** Paths of the cache files in [dir], sorted. *)
+
+val clear : dir:string -> int
+(** Remove every cache file in [dir]; returns how many were removed. *)
+
+type summary = {
+  s_path : string;
+  s_device : string;
+  s_schema : int;
+  s_valid : bool;  (** schema + fingerprint + grids match a known device *)
+  s_ops : string list;
+  s_has_mem_wr : bool;
+  s_has_mem_rd : bool;
+}
+
+val summarize :
+  factor_grid:int array -> unit_grid:int array -> string -> summary option
+(** Inspect one cache file without loading it into a calibrator. *)

@@ -8,54 +8,155 @@ type curves = {
   smoothed : float array;
 }
 
+(* Thread-safe: curve tables are read and filled under [lock] so a shared
+   instance can serve concurrent compiles on pool worker domains.  Builds
+   (characterization) run outside the lock — distinct keys characterize in
+   parallel; a same-key race wastes one rebuild but both results are
+   identical, so whichever insert wins is indistinguishable. *)
 type t = {
   dev : Device.t;
   window : int;
+  cache_dir : string option;
+  lock : Mutex.t;
   op_cache : (string, curves) Hashtbl.t;
   mutable mem_wr : curves option;
   mutable mem_rd : curves option;
+  mutable disk : Cal_cache.entry option;  (* lazily loaded once *)
 }
 
 let factor_grid = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 |]
 let unit_grid = [| 1; 4; 16; 64; 256; 1024; 4096 |]
 let depth_grid = Array.map (fun u -> u * 512) unit_grid
 
-let create ?(window = 1) dev =
+let create ?(window = 1) ?cache_dir dev =
   if window < 0 then invalid_arg "Calibrate.create: negative window";
-  { dev; window; op_cache = Hashtbl.create 16; mem_wr = None; mem_rd = None }
+  {
+    dev;
+    window;
+    cache_dir;
+    lock = Mutex.create ();
+    op_cache = Hashtbl.create 16;
+    mem_wr = None;
+    mem_rd = None;
+    disk = None;
+  }
 
 let device t = t.dev
+let cache_dir t = t.cache_dir
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let op_key op dt = Op.to_string op ^ "/" ^ Dtype.to_string dt
 
+(* Call with [t.lock] held. *)
+let disk_entry t =
+  match t.disk with
+  | Some e -> e
+  | None ->
+    let e =
+      match t.cache_dir with
+      | None -> Cal_cache.empty
+      | Some dir -> (
+        match Cal_cache.load ~dir ~factor_grid ~unit_grid t.dev with
+        | Some e -> e
+        | None -> Cal_cache.empty)
+    in
+    t.disk <- Some e;
+    e
+
+let persist t update =
+  match t.cache_dir with
+  | None -> ()
+  | Some dir ->
+    locked t (fun () ->
+      (* Merge over the freshest on-disk state so concurrent processes
+         warming different ops do not clobber each other's keys. *)
+      let base =
+        match Cal_cache.load ~dir ~factor_grid ~unit_grid t.dev with
+        | Some e -> e
+        | None -> Cal_cache.empty
+      in
+      let merged = update base in
+      t.disk <- Some merged;
+      match Cal_cache.store ~dir ~factor_grid ~unit_grid t.dev merged with
+      | () -> Metrics.incr "calibrate.cache_writes"
+      | exception Sys_error _ -> ())
+
+let smooth t raw = Stats.smooth_neighbors ~window:t.window raw
+
 let op_curves t op dt =
   let key = op_key op dt in
-  match Hashtbl.find_opt t.op_cache key with
-  | Some c -> c
-  | None ->
-    Metrics.incr "calibrate.curve_builds";
-    let pts = Characterize.arith_curve t.dev op dt ~factors:factor_grid in
-    let raw = Array.map (fun p -> p.Characterize.measured) pts in
-    let smoothed = Stats.smooth_neighbors ~window:t.window raw in
-    let c = { raw; smoothed } in
-    Hashtbl.add t.op_cache key c;
-    c
-
-let mem_curves t ~read =
-  let cached = if read then t.mem_rd else t.mem_wr in
+  let cached =
+    locked t (fun () ->
+      match Hashtbl.find_opt t.op_cache key with
+      | Some c -> Some c
+      | None -> (
+        match List.assoc_opt key (disk_entry t).Cal_cache.e_ops with
+        | Some raw ->
+          Metrics.incr "calibrate.cache_hits";
+          let c = { raw; smoothed = smooth t raw } in
+          Hashtbl.add t.op_cache key c;
+          Some c
+        | None -> None))
+  in
   match cached with
   | Some c -> c
   | None ->
     Metrics.incr "calibrate.curve_builds";
+    if t.cache_dir <> None then Metrics.incr "calibrate.cache_misses";
+    let pts = Characterize.arith_curve t.dev op dt ~factors:factor_grid in
+    let raw = Array.map (fun p -> p.Characterize.measured) pts in
+    let c = { raw; smoothed = smooth t raw } in
+    persist t (fun e ->
+      { e with Cal_cache.e_ops = (key, raw) :: List.remove_assoc key e.Cal_cache.e_ops });
+    locked t (fun () ->
+      match Hashtbl.find_opt t.op_cache key with
+      | Some c' -> c'
+      | None ->
+        Hashtbl.add t.op_cache key c;
+        c)
+
+let mem_curves t ~read =
+  let cached =
+    locked t (fun () ->
+      match if read then t.mem_rd else t.mem_wr with
+      | Some c -> Some c
+      | None -> (
+        let disk = disk_entry t in
+        let stored =
+          if read then disk.Cal_cache.e_mem_rd else disk.Cal_cache.e_mem_wr
+        in
+        match stored with
+        | Some raw ->
+          Metrics.incr "calibrate.cache_hits";
+          let c = { raw; smoothed = smooth t raw } in
+          if read then t.mem_rd <- Some c else t.mem_wr <- Some c;
+          Some c
+        | None -> None))
+  in
+  match cached with
+  | Some c -> c
+  | None ->
+    Metrics.incr "calibrate.curve_builds";
+    if t.cache_dir <> None then Metrics.incr "calibrate.cache_misses";
     let pts =
       if read then Characterize.mem_read_curve t.dev ~units:unit_grid
       else Characterize.mem_write_curve t.dev ~units:unit_grid
     in
     let raw = Array.map (fun p -> p.Characterize.measured) pts in
-    let smoothed = Stats.smooth_neighbors ~window:t.window raw in
-    let c = { raw; smoothed } in
-    if read then t.mem_rd <- Some c else t.mem_wr <- Some c;
-    c
+    let c = { raw; smoothed = smooth t raw } in
+    persist t (fun e ->
+      if read then { e with Cal_cache.e_mem_rd = Some raw }
+      else { e with Cal_cache.e_mem_wr = Some raw });
+    locked t (fun () ->
+      let existing = if read then t.mem_rd else t.mem_wr in
+      match existing with
+      | Some c' -> c'
+      | None ->
+        if read then t.mem_rd <- Some c else t.mem_wr <- Some c;
+        c)
 
 (* Log-linear interpolation over a positive grid. Clamp outside. *)
 let interp grid values x =
@@ -133,13 +234,26 @@ let mem_curve t ~width =
          })
        depth_grid)
 
+(* Build (or load) every curve a set of designs is likely to touch. *)
+let warm ?(ops = []) ?(mem = true) t =
+  List.iter (fun (op, dt) -> ignore (op_curves t op dt)) ops;
+  if mem then begin
+    ignore (mem_curves t ~read:false);
+    ignore (mem_curves t ~read:true)
+  end
+
 let shared_table : (string * int, t) Hashtbl.t = Hashtbl.create 4
+let shared_lock = Mutex.create ()
 
 let shared ?(window = 1) dev =
-  let key = (dev.Device.name, window) in
-  match Hashtbl.find_opt shared_table key with
-  | Some t -> t
-  | None ->
-    let t = create ~window dev in
-    Hashtbl.add shared_table key t;
-    t
+  Mutex.lock shared_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock shared_lock)
+    (fun () ->
+      let key = (dev.Device.name, window) in
+      match Hashtbl.find_opt shared_table key with
+      | Some t -> t
+      | None ->
+        let t = create ~window ?cache_dir:(Cal_cache.ambient_dir ()) dev in
+        Hashtbl.add shared_table key t;
+        t)

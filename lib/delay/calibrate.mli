@@ -14,11 +14,16 @@ open Hlsb_ir
 
 type t
 
-val create : ?window:int -> Hlsb_device.Device.t -> t
+val create : ?window:int -> ?cache_dir:string -> Hlsb_device.Device.t -> t
 (** [window] is the neighbour-smoothing half-width (default 1). Curves are
-    characterized lazily and cached per (op, dtype). *)
+    characterized lazily and cached per (op, dtype). When [cache_dir] is
+    given, raw curves are also persisted there (see {!Cal_cache}) and
+    reloaded on later runs instead of being re-characterized. *)
 
 val device : t -> Hlsb_device.Device.t
+
+val cache_dir : t -> string option
+(** The on-disk cache directory this instance persists to, if any. *)
 
 val factor_grid : int array
 (** The log-spaced broadcast factors at which curves are sampled. *)
@@ -59,7 +64,14 @@ val mem_curve : t -> width:int -> curve_row list
 (** The Fig. 9 BRAM-access series; [cr_factor] is the equivalent 36-bit
     buffer depth in words. Uses the write path (the harsher of the two). *)
 
+val warm : ?ops:(Op.t * Dtype.t) list -> ?mem:bool -> t -> unit
+(** Force characterization (or cache load) of the given operator curves and,
+    when [mem] is true (default), the memory curves — used by
+    [hlsbc calibrate --warm] to populate the persistent cache ahead of
+    time. *)
+
 val shared : ?window:int -> Hlsb_device.Device.t -> t
 (** A process-wide memoized instance per (device, window): characterization
     curves are expensive, and every design on the same device can reuse
-    them. *)
+    them. Shared instances persist to the ambient cache directory
+    ({!Cal_cache.ambient_dir}) when one is available. Thread-safe. *)

@@ -1,4 +1,5 @@
 open Hlsb_ir
+module Pool = Hlsb_util.Pool
 module Device = Hlsb_device.Device
 module Netlist = Hlsb_netlist.Netlist
 module Structs = Hlsb_netlist.Structs
@@ -57,8 +58,13 @@ let arith (d : Device.t) op dt ~factor =
       max acc (report.Timing.arrivals.(opc) -. d.Device.t_clk_q))
     0. ops
 
-let arith_curve d op dt ~factors =
-  Array.map (fun f -> { factor = f; measured = arith d op dt ~factor:f }) factors
+(* Every grid point is an independent netlist build + placement + STA run,
+   so curves fan the points out across the Pool; ordering (and therefore
+   the result) is identical at any job count. *)
+let arith_curve ?jobs d op dt ~factors =
+  Pool.map ?jobs
+    (fun f -> { factor = f; measured = arith d op dt ~factor:f })
+    factors
 
 (* One BRAM18 holds 512 words of 36 bits; a [units]-unit skeleton is a
    36-bit buffer deep enough to span exactly that many units. *)
@@ -87,12 +93,12 @@ let mem_skeleton (d : Device.t) ~units ~read =
 let mem_write d ~units = fst (mem_skeleton d ~units ~read:false)
 let mem_read d ~units = fst (mem_skeleton d ~units ~read:true)
 
-let mem_curve d ~units ~read =
-  Array.map
+let mem_curve ?jobs d ~units ~read =
+  Pool.map ?jobs
     (fun u ->
       let measured, n = mem_skeleton d ~units:u ~read in
       { factor = n; measured })
     units
 
-let mem_write_curve d ~units = mem_curve d ~units ~read:false
-let mem_read_curve d ~units = mem_curve d ~units ~read:true
+let mem_write_curve ?jobs d ~units = mem_curve ?jobs d ~units ~read:false
+let mem_read_curve ?jobs d ~units = mem_curve ?jobs d ~units ~read:true

@@ -20,7 +20,15 @@ val arith : Hlsb_device.Device.t -> Op.t -> Dtype.t -> factor:int -> float
 (** Measured delay of one operator at the given broadcast factor. *)
 
 val arith_curve :
-  Hlsb_device.Device.t -> Op.t -> Dtype.t -> factors:int array -> point array
+  ?jobs:int ->
+  Hlsb_device.Device.t ->
+  Op.t ->
+  Dtype.t ->
+  factors:int array ->
+  point array
+(** Per-factor skeleton runs are independent and fan out across the
+    {!Hlsb_util.Pool} (default job count); results are index-ordered, so the
+    curve is identical for every job count. *)
 
 val mem_write : Hlsb_device.Device.t -> units:int -> float
 (** Measured delay of a register -> every-BRAM-unit store, for a buffer
@@ -32,7 +40,7 @@ val mem_read : Hlsb_device.Device.t -> units:int -> float
 (** Measured delay of a BRAM-units -> cascade-mux -> register load. *)
 
 val mem_write_curve :
-  Hlsb_device.Device.t -> units:int array -> point array
+  ?jobs:int -> Hlsb_device.Device.t -> units:int array -> point array
 
 val mem_read_curve :
-  Hlsb_device.Device.t -> units:int array -> point array
+  ?jobs:int -> Hlsb_device.Device.t -> units:int array -> point array

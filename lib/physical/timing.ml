@@ -46,20 +46,41 @@ let default_seed nl = Hashtbl.hash (Netlist.name nl) land 0xFFFFFF
 let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
   let seed = match seed with Some s -> s | None -> default_seed nl in
   let n = Netlist.n_cells nl in
-  (* Per-cell fanin arcs: (pred_cell, net_id). *)
-  let fanin = Array.make n [] in
+  (* Per-cell fanin arcs in CSR form (arc_pred/arc_net flat arrays sliced by
+     off): this is the inner loop of every characterization point, and the
+     flat int arrays avoid allocating a (pred, net) cons per arc.  Slices are
+     filled back-to-front while iterating nets forward, reproducing the
+     reverse-insertion order the old per-cell lists had, so tie-breaking on
+     equal arrivals is unchanged. *)
   let ndelay = Array.make (Netlist.n_nets nl) 0. in
+  let off = Array.make (n + 1) 0 in
+  Netlist.iter_nets nl (fun _ net ->
+    Array.iter
+      (fun s -> off.(s + 1) <- off.(s + 1) + 1)
+      net.Netlist.n_sinks);
+  for c = 0 to n - 1 do
+    off.(c + 1) <- off.(c + 1) + off.(c)
+  done;
+  let n_arcs = off.(n) in
+  let arc_pred = Array.make n_arcs 0 in
+  let arc_net = Array.make n_arcs 0 in
+  let cursor = Array.init n (fun c -> off.(c + 1)) in
   Netlist.iter_nets nl (fun nid net ->
     ndelay.(nid) <- net_delay d nl pl ~jitter ~seed nid;
     Array.iter
-      (fun s -> fanin.(s) <- (net.Netlist.n_driver, nid) :: fanin.(s))
+      (fun s ->
+        let k = cursor.(s) - 1 in
+        cursor.(s) <- k;
+        arc_pred.(k) <- net.Netlist.n_driver;
+        arc_net.(k) <- nid)
       net.Netlist.n_sinks);
   (* Arrival at each cell's *output*. Sequential cells and input ports
      launch at t_clk_q; combinational cells add their logic delay on top of
      the worst input arrival. Evaluate in dependence order via DFS with
      cycle detection. *)
   let arrival = Array.make n nan in
-  let best_pred = Array.make n None in
+  let bp_pred = Array.make n (-1) in
+  let bp_net = Array.make n (-1) in
   let state = Array.make n 0 in
   (* 0 unvisited / 1 in progress / 2 done *)
   let rec output_arrival c =
@@ -74,14 +95,14 @@ let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
         | Netlist.Port_in -> 0.
         | Netlist.Port_out | Netlist.Comb ->
           let worst = ref 0. in
-          List.iter
-            (fun (p, nid) ->
-              let t = input_arrival p nid in
-              if t > !worst then begin
-                worst := t;
-                best_pred.(c) <- Some (p, nid)
-              end)
-            fanin.(c);
+          for k = off.(c) to off.(c + 1) - 1 do
+            let t = input_arrival arc_pred.(k) arc_net.(k) in
+            if t > !worst then begin
+              worst := t;
+              bp_pred.(c) <- arc_pred.(k);
+              bp_net.(c) <- arc_net.(k)
+            end
+          done;
           !worst +. cell.Netlist.c_delay
       in
       arrival.(c) <- a;
@@ -99,14 +120,13 @@ let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
     let cell = Netlist.cell nl c in
     match cell.Netlist.c_kind with
     | Netlist.Seq | Netlist.Mem ->
-      List.iter
-        (fun (p, nid) ->
-          let t = input_arrival p nid +. d.t_setup in
-          if t > !worst then begin
-            worst := t;
-            worst_end := Some (c, p, nid)
-          end)
-        fanin.(c)
+      for k = off.(c) to off.(c + 1) - 1 do
+        let t = input_arrival arc_pred.(k) arc_net.(k) +. d.t_setup in
+        if t > !worst then begin
+          worst := t;
+          worst_end := Some (c, arc_pred.(k), arc_net.(k))
+        end
+      done
     | Netlist.Comb | Netlist.Port_in | Netlist.Port_out ->
       (* still force evaluation so cycles are reported deterministically *)
       ignore (output_arrival c)
@@ -126,9 +146,8 @@ let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
             ps_via_net = via;
           }
         in
-        match best_pred.(c) with
-        | Some (p, nid) -> back p (Some nid) (step :: acc)
-        | None -> step :: acc
+        if bp_pred.(c) >= 0 then back bp_pred.(c) (Some bp_net.(c)) (step :: acc)
+        else step :: acc
       in
       let end_step =
         {

@@ -17,74 +17,81 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
   let produced = Array.make n_chan 0 in
   let consumed_out = Array.make n_chan 0 in
   let delivered = Array.make n_chan [] in
-  let in_chans = Array.make n_proc [] in
-  let out_chans = Array.make n_proc [] in
+  (* Per-process channel sets as flat int arrays, hoisted out of the cycle
+     loop; external input channels (always ready) are filtered out of the
+     input sets up front so [can_fire] only scans channels that gate. *)
+  let in_lists = Array.make n_proc [] in
+  let out_lists = Array.make n_proc [] in
   Array.iteri
     (fun i (c : Dataflow.channel) ->
-      if c.Dataflow.c_dst >= 0 then
-        in_chans.(c.Dataflow.c_dst) <- i :: in_chans.(c.Dataflow.c_dst);
+      if c.Dataflow.c_dst >= 0 && c.Dataflow.c_src >= 0 then
+        in_lists.(c.Dataflow.c_dst) <- i :: in_lists.(c.Dataflow.c_dst);
       if c.Dataflow.c_src >= 0 then
-        out_chans.(c.Dataflow.c_src) <- i :: out_chans.(c.Dataflow.c_src))
+        out_lists.(c.Dataflow.c_src) <- i :: out_lists.(c.Dataflow.c_src))
     chans;
+  let in_chans = Array.map Array.of_list in_lists in
+  let out_chans = Array.map Array.of_list out_lists in
+  let depth = Array.map (fun (c : Dataflow.channel) -> c.Dataflow.c_depth) chans in
   (* Which barrier (if any) each process belongs to. *)
   let group_of = Array.make n_proc (-1) in
   if sync then
     List.iteri
       (fun g members -> List.iter (fun p -> group_of.(p) <- g) members)
       (Dataflow.sync_groups df);
-  let groups = if sync then Array.of_list (Dataflow.sync_groups df) else [||] in
+  let groups =
+    if sync then
+      Array.of_list (List.map Array.of_list (Dataflow.sync_groups df))
+    else [||]
+  in
   let fired = Array.make n_proc 0 in
   let ext_outputs =
-    Array.to_list chans
-    |> List.mapi (fun i c -> (i, c))
-    |> List.filter (fun (_, (c : Dataflow.channel)) -> c.Dataflow.c_dst = -1)
-    |> List.map fst
+    let acc = ref [] in
+    for i = n_chan - 1 downto 0 do
+      if chans.(i).Dataflow.c_dst = -1 then acc := i :: !acc
+    done;
+    Array.of_list !acc
   in
+  let n_ext = Array.length ext_outputs in
+  let has_data c = occupancy.(c) > 0 in
+  let has_room c = occupancy.(c) < depth.(c) in
   let can_fire p =
     fired.(p) < tokens
-    && List.for_all
-         (fun c ->
-           let ch = chans.(c) in
-           if ch.Dataflow.c_src = -1 then true (* external inputs: always data *)
-           else occupancy.(c) > 0)
-         in_chans.(p)
-    && List.for_all
-         (fun c -> occupancy.(c) < chans.(c).Dataflow.c_depth)
-         out_chans.(p)
+    && Array.for_all has_data in_chans.(p)
+    && Array.for_all has_room out_chans.(p)
   in
   let fire p =
-    List.iter
-      (fun c -> if chans.(c).Dataflow.c_src >= 0 then occupancy.(c) <- occupancy.(c) - 1)
-      in_chans.(p);
-    List.iter
+    Array.iter (fun c -> occupancy.(c) <- occupancy.(c) - 1) in_chans.(p);
+    Array.iter
       (fun c ->
         occupancy.(c) <- occupancy.(c) + 1;
         produced.(c) <- produced.(c) + 1)
       out_chans.(p);
     fired.(p) <- fired.(p) + 1
   in
-  let all_done () =
-    List.for_all (fun c -> consumed_out.(c) >= tokens) ext_outputs
-  in
+  (* Count of external outputs that have drained all [tokens], instead of
+     rescanning every output channel every cycle. *)
+  let outputs_done = ref (if tokens <= 0 then n_ext else 0) in
+  let all_done () = !outputs_done >= n_ext in
   let limit = (tokens * 50) + 1000 in
   let cycle = ref 0 in
+  let fired_this_cycle = Array.make n_proc false in
   while (not (all_done ())) && !cycle < limit do
     (* 1. external sinks drain according to their readiness *)
-    List.iter
+    Array.iter
       (fun c ->
         if ready ~chan:c ~cycle:!cycle && occupancy.(c) > 0 then begin
           occupancy.(c) <- occupancy.(c) - 1;
           delivered.(c) <- consumed_out.(c) :: delivered.(c);
-          consumed_out.(c) <- consumed_out.(c) + 1
+          consumed_out.(c) <- consumed_out.(c) + 1;
+          if consumed_out.(c) = tokens then incr outputs_done
         end)
       ext_outputs;
     (* 2. barriered groups fire all-or-nothing; free processes fire alone *)
-    let fired_this_cycle = Array.make n_proc false in
-    Array.iteri
-      (fun _ members ->
-        let members = members in
-        if List.for_all can_fire members then
-          List.iter
+    Array.fill fired_this_cycle 0 n_proc false;
+    Array.iter
+      (fun members ->
+        if Array.for_all can_fire members then
+          Array.iter
             (fun p ->
               fire p;
               fired_this_cycle.(p) <- true)
@@ -104,6 +111,8 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
   {
     cycles = !cycle;
     fired;
-    delivered = List.map (fun c -> (c, List.rev delivered.(c))) ext_outputs;
+    delivered =
+      Array.to_list
+        (Array.map (fun c -> (c, List.rev delivered.(c))) ext_outputs);
     deadlocked = not (all_done ());
   }

@@ -20,22 +20,26 @@ let create () =
     hists = Hashtbl.create 16;
   }
 
-let current : t option ref = ref None
-let install t = current := Some t
-let uninstall () = current := None
-let installed () = !current
-let enabled () = !current <> None
+(* Domain-local, like [Trace.current]: metrics record only on the domain
+   that installed the registry, so pool worker domains never mutate the
+   hash tables concurrently with the main domain. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let install t = Domain.DLS.set current (Some t)
+let uninstall () = Domain.DLS.set current None
+let installed () = Domain.DLS.get current
+let enabled () = Domain.DLS.get current <> None
 
 let with_registry t f =
-  let prev = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
 
 let default_buckets =
   [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
 
 let incr ?(by = 1) name =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some t -> (
     match Hashtbl.find_opt t.counters name with
@@ -43,7 +47,7 @@ let incr ?(by = 1) name =
     | None -> Hashtbl.add t.counters name (ref by))
 
 let set_gauge name v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some t -> (
     match Hashtbl.find_opt t.gauges name with
@@ -74,7 +78,7 @@ let hist_observe h v =
   end
 
 let observe ?buckets name v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some t -> (
     match Hashtbl.find_opt t.hists name with
@@ -102,7 +106,7 @@ let observe ?buckets name v =
       Hashtbl.add t.hists name h)
 
 let observe_int name v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()  (* short-circuit before any float boxing *)
   | Some _ -> observe name (float_of_int v)
 

@@ -28,19 +28,23 @@ type t = {
 
 let create () = { next_id = 0; stack = []; done_rev = [] }
 
-let current : t option ref = ref None
-let install t = current := Some t
-let uninstall () = current := None
-let installed () = !current
-let enabled () = !current <> None
+(* The installed collector is domain-local: spans record only on the domain
+   that installed it, so tasks running on pool worker domains (Hlsb_util.Pool)
+   see no collector and cannot race on the span stack. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let install t = Domain.DLS.set current (Some t)
+let uninstall () = Domain.DLS.set current None
+let installed () = Domain.DLS.get current
+let enabled () = Domain.DLS.get current <> None
 
 let with_collector t f =
-  let prev = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
 
 let with_span ?attrs name f =
-  match !current with
+  match Domain.DLS.get current with
   | None -> f ()
   | Some t ->
     let parent, depth =
@@ -88,7 +92,7 @@ let with_span ?attrs name f =
     Fun.protect ~finally:close f
 
 let add_attr key v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some t -> (
     match t.stack with

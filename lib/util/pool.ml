@@ -1,0 +1,85 @@
+(* Domain-based work pool for independent, deterministic tasks.
+
+   Results are returned in input order no matter how work is interleaved
+   across domains, so [map f a] is observably identical to [Array.map f a]
+   for pure [f] at any job count.  Job count resolution, in priority order:
+   an explicit [?jobs] argument, [set_default_jobs], the [HLSB_JOBS]
+   environment variable, then [Domain.recommended_domain_count].
+
+   Nested calls (a task that itself calls [map]) run sequentially in the
+   calling worker rather than spawning a second tier of domains, which
+   bounds the total domain count at [jobs] regardless of call depth. *)
+
+let env_var = "HLSB_JOBS"
+
+let override : int option Atomic.t = Atomic.make None
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs < 1";
+  Atomic.set override (Some n)
+
+let env_jobs () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> (
+    match env_jobs () with
+    | Some n -> n
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+(* True inside a pool worker domain: used to degrade nested maps to
+   sequential execution. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sequential_map f arr = Array.map f arr
+
+let map ?jobs f arr =
+  let n = Array.length arr in
+  let jobs =
+    let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    min j n
+  in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then sequential_map f arr
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let body () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get error <> None then continue := false
+        else
+          match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set error None (Some e))
+      done
+    in
+    let worker () =
+      Domain.DLS.set in_worker true;
+      body ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is the [jobs]-th worker; it is not flagged as one
+       so a task running here may still see ambient per-domain state. *)
+    (try body () with e -> ignore (Atomic.compare_and_set error None (Some e)));
+    Array.iter Domain.join domains;
+    match Atomic.get error with
+    | Some e -> raise e
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let mapi ?jobs f arr =
+  map ?jobs (fun (i, x) -> f i x) (Array.mapi (fun i x -> (i, x)) arr)
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
+
+let iter ?jobs f arr = ignore (map ?jobs (fun x -> f x) arr)

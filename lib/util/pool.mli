@@ -1,0 +1,34 @@
+(** Domain-based work pool for independent, deterministic tasks.
+
+    Results come back in input order no matter how work interleaves across
+    domains, so [map f a] is observably identical to [Array.map f a] for
+    pure [f] at any job count. Job count resolution, in priority order: an
+    explicit [?jobs] argument, {!set_default_jobs}, the [HLSB_JOBS]
+    environment variable, then [Domain.recommended_domain_count].
+
+    Nested calls (a task that itself calls [map]) run sequentially inside
+    the calling worker rather than spawning a second tier of domains, which
+    bounds the total domain count at [jobs] regardless of call depth. *)
+
+val env_var : string
+(** ["HLSB_JOBS"] — overrides the default job count when set to an integer
+    >= 1. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide default job count (e.g. from a [--jobs] flag). Takes
+    precedence over [HLSB_JOBS]. Raises [Invalid_argument] if [n < 1]. *)
+
+val default_jobs : unit -> int
+(** The job count used when [?jobs] is omitted. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic, index-ordered results. Runs
+    sequentially when [jobs <= 1], the input has fewer than two elements, or
+    the call is nested inside another pool task. If any task raises, one of
+    the raised exceptions is re-raised after all domains join. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a array -> unit

@@ -5,7 +5,10 @@ open Hlsb_ir
 module Oplib = Hlsb_delay.Oplib
 module Characterize = Hlsb_delay.Characterize
 module Calibrate = Hlsb_delay.Calibrate
+module Cal_cache = Hlsb_delay.Cal_cache
 module Device = Hlsb_device.Device
+module Metrics = Hlsb_telemetry.Metrics
+module Json = Hlsb_telemetry.Json
 
 let dev = Device.ultrascale_plus
 let i32 = Dtype.Int 32
@@ -152,6 +155,110 @@ let test_device_scaling () =
   let z = Oplib.logic_delay Device.zynq_7z045 Op.Add i32 in
   Alcotest.(check bool) "zynq slower" true (z > us)
 
+(* ---- Persistent calibration cache ---- *)
+
+let with_temp_dir f =
+  let base = Filename.temp_file "hlsb-cal" "" in
+  Sys.remove base;
+  Sys.mkdir base 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fn -> try Sys.remove (Filename.concat base fn) with Sys_error _ -> ())
+        (try Sys.readdir base with Sys_error _ -> [||]);
+      try Sys.rmdir base with Sys_error _ -> ())
+    (fun () -> f base)
+
+let test_cache_round_trip () =
+  with_temp_dir (fun dir ->
+      let cold = Calibrate.create ~cache_dir:dir dev in
+      let curve_cold = Calibrate.op_curve cold Op.Add i32 in
+      let mem_cold = Calibrate.mem_write_delay cold ~width:512 ~depth:131072 in
+      (* a fresh calibrator over the same directory must reload identical
+         curves without a single rebuild *)
+      let reg = Metrics.create () in
+      let warm = Calibrate.create ~cache_dir:dir dev in
+      let curve_warm, mem_warm =
+        Metrics.with_registry reg (fun () ->
+            ( Calibrate.op_curve warm Op.Add i32,
+              Calibrate.mem_write_delay warm ~width:512 ~depth:131072 ))
+      in
+      Alcotest.(check bool) "op curve bit-identical" true (curve_cold = curve_warm);
+      Alcotest.(check (float 0.)) "mem delay bit-identical" mem_cold mem_warm;
+      Alcotest.(check int) "no rebuild on warm load" 0
+        (Metrics.counter_value reg "calibrate.curve_builds");
+      Alcotest.(check bool) "cache hits recorded" true
+        (Metrics.counter_value reg "calibrate.cache_hits" >= 2))
+
+let test_cache_fingerprint_invalidation () =
+  with_temp_dir (fun dir ->
+      let c = Calibrate.create ~cache_dir:dir dev in
+      ignore (Calibrate.op_curve c Op.Add i32);
+      (* same device name, different timing numbers: stale *)
+      let retimed = { dev with Device.t_lut = dev.Device.t_lut *. 2. } in
+      Alcotest.(check bool) "retimed device misses" true
+        (Cal_cache.load ~dir ~factor_grid:Calibrate.factor_grid
+           ~unit_grid:Calibrate.unit_grid retimed
+        = None);
+      Alcotest.(check bool) "original device still hits" true
+        (Cal_cache.load ~dir ~factor_grid:Calibrate.factor_grid
+           ~unit_grid:Calibrate.unit_grid dev
+        <> None))
+
+let test_cache_schema_invalidation () =
+  with_temp_dir (fun dir ->
+      let c = Calibrate.create ~cache_dir:dir dev in
+      ignore (Calibrate.op_curve c Op.Add i32);
+      let path = Cal_cache.file_path ~dir dev in
+      let text =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let bumped =
+        match Json.of_string text with
+        | Ok (Json.Obj fields) ->
+          Json.Obj
+            (List.map
+               (fun (k, v) -> if k = "schema" then (k, Json.Int 999) else (k, v))
+               fields)
+        | _ -> Alcotest.fail "cache file should parse as an object"
+      in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Json.to_string bumped));
+      Alcotest.(check bool) "future schema misses" true
+        (Cal_cache.load ~dir ~factor_grid:Calibrate.factor_grid
+           ~unit_grid:Calibrate.unit_grid dev
+        = None);
+      match Cal_cache.summarize ~factor_grid:Calibrate.factor_grid
+              ~unit_grid:Calibrate.unit_grid path
+      with
+      | None -> Alcotest.fail "summarize should still parse the file"
+      | Some s ->
+        Alcotest.(check bool) "flagged stale" false s.Cal_cache.s_valid;
+        Alcotest.(check int) "schema surfaced" 999 s.Cal_cache.s_schema)
+
+let test_cache_grid_invalidation () =
+  with_temp_dir (fun dir ->
+      Cal_cache.store ~dir ~factor_grid:[| 1; 2 |] ~unit_grid:[| 1 |] dev
+        { Cal_cache.empty with Cal_cache.e_ops = [ ("add/i32", [| 1.; 2. |]) ] };
+      Alcotest.(check bool) "different grid misses" true
+        (Cal_cache.load ~dir ~factor_grid:Calibrate.factor_grid
+           ~unit_grid:Calibrate.unit_grid dev
+        = None))
+
+let test_jobs_deterministic () =
+  (* the acceptance bar: curves bit-identical at any job count *)
+  let seq = Characterize.arith_curve ~jobs:1 dev Op.Add i32 ~factors:Calibrate.factor_grid in
+  let par = Characterize.arith_curve ~jobs:4 dev Op.Add i32 ~factors:Calibrate.factor_grid in
+  Alcotest.(check bool) "arith curve bit-identical" true (seq = par);
+  let mseq = Characterize.mem_write_curve ~jobs:1 dev ~units:Calibrate.unit_grid in
+  let mpar = Characterize.mem_write_curve ~jobs:4 dev ~units:Calibrate.unit_grid in
+  Alcotest.(check bool) "mem curve bit-identical" true (mseq = mpar)
+
 let suite =
   [
     Alcotest.test_case "prediction fanout-blind" `Quick test_predicted_fanout_blind;
@@ -176,4 +283,11 @@ let suite =
     Alcotest.test_case "shared cache" `Quick test_shared_cache;
     Alcotest.test_case "invalid factor" `Quick test_invalid_factor;
     Alcotest.test_case "device scaling" `Quick test_device_scaling;
+    Alcotest.test_case "cache round trip" `Quick test_cache_round_trip;
+    Alcotest.test_case "cache fingerprint invalidation" `Quick
+      test_cache_fingerprint_invalidation;
+    Alcotest.test_case "cache schema invalidation" `Quick
+      test_cache_schema_invalidation;
+    Alcotest.test_case "cache grid invalidation" `Quick test_cache_grid_invalidation;
+    Alcotest.test_case "jobs deterministic" `Quick test_jobs_deterministic;
   ]

@@ -5,6 +5,7 @@ module Rng = Hlsb_util.Rng
 module Intgraph = Hlsb_util.Intgraph
 module Vec = Hlsb_util.Vec
 module Table = Hlsb_util.Table
+module Pool = Hlsb_util.Pool
 
 let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
 
@@ -259,6 +260,74 @@ let test_table_arity () =
   Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
     (fun () -> Table.add_row t [ "x"; "y" ])
 
+(* ---- Pool ---- *)
+
+let test_pool_matches_sequential () =
+  let arr = Array.init 100 (fun i -> i) in
+  let f x = (x * 37) mod 101 in
+  let expected = Array.map f arr in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Pool.map ~jobs f arr))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_pool_mapi () =
+  let arr = Array.make 50 10 in
+  Alcotest.(check (array int))
+    "mapi"
+    (Array.mapi (fun i x -> i + x) arr)
+    (Pool.mapi ~jobs:4 (fun i x -> i + x) arr)
+
+let test_pool_map_list () =
+  let xs = List.init 33 string_of_int in
+  Alcotest.(check (list string))
+    "map_list"
+    (List.map (fun s -> s ^ "!") xs)
+    (Pool.map_list ~jobs:3 (fun s -> s ^ "!") xs)
+
+let test_pool_iter () =
+  let total = Atomic.make 0 in
+  Pool.iter ~jobs:4
+    (fun x -> ignore (Atomic.fetch_and_add total x))
+    (Array.init 100 (fun i -> i));
+  Alcotest.(check int) "iter visits everything" 4950 (Atomic.get total)
+
+let test_pool_exception () =
+  Alcotest.check_raises "task exception propagates" (Failure "boom") (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun i -> if i = 13 then failwith "boom" else i)
+           (Array.init 64 (fun i -> i))))
+
+let test_pool_nested () =
+  (* nested maps degrade to sequential inside workers but stay correct *)
+  let expected =
+    Array.init 16 (fun i -> Array.init 8 (fun y -> (i * 10) + y))
+  in
+  let got =
+    Pool.map ~jobs:4
+      (fun base -> Pool.map ~jobs:4 (fun y -> base + y) (Array.init 8 (fun i -> i)))
+      (Array.init 16 (fun i -> i * 10))
+  in
+  Alcotest.(check (array (array int))) "nested" expected got
+
+let test_pool_bad_jobs () =
+  Alcotest.check_raises "jobs < 1"
+    (Invalid_argument "Pool.set_default_jobs: jobs < 1") (fun () ->
+      Pool.set_default_jobs 0);
+  Alcotest.(check bool) "default >= 1" true (Pool.default_jobs () >= 1)
+
+let prop_pool_matches_map =
+  QCheck.Test.make ~count:50 ~name:"pool map matches Array.map at any job count"
+    QCheck.(pair (list (int_bound 10000)) (int_range 1 8))
+    (fun (xs, jobs) ->
+      let arr = Array.of_list xs in
+      let f x = (x * x) - (3 * x) in
+      Pool.map ~jobs f arr = Array.map f arr)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -291,6 +360,18 @@ let suite =
     Alcotest.test_case "vec fold" `Quick test_vec_fold;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table arity" `Quick test_table_arity;
+    Alcotest.test_case "pool matches sequential" `Quick test_pool_matches_sequential;
+    Alcotest.test_case "pool mapi" `Quick test_pool_mapi;
+    Alcotest.test_case "pool map_list" `Quick test_pool_map_list;
+    Alcotest.test_case "pool iter" `Quick test_pool_iter;
+    Alcotest.test_case "pool exception" `Quick test_pool_exception;
+    Alcotest.test_case "pool nested" `Quick test_pool_nested;
+    Alcotest.test_case "pool bad jobs" `Quick test_pool_bad_jobs;
   ]
   @ qsuite
-      [ prop_smoothing_reduces_variation; prop_percentile_bounds; prop_topo_respects_edges ]
+      [
+        prop_smoothing_reduces_variation;
+        prop_percentile_bounds;
+        prop_topo_respects_edges;
+        prop_pool_matches_map;
+      ]
