@@ -235,6 +235,16 @@ let run_record ~label ~jobs trace registry =
             ("cache_misses", Json.Int (counter "calibrate.cache_misses"));
             ("cache_writes", Json.Int (counter "calibrate.cache_writes"));
           ] );
+      ( "pipeline",
+        Json.Obj
+          (("stage_runs", Json.Int (counter "pipeline.stage_runs"))
+           :: ("cache_hits", Json.Int (counter "pipeline.cache_hits"))
+           :: ("cache_misses", Json.Int (counter "pipeline.cache_misses"))
+           :: List.map
+                (fun stage ->
+                  let name = Core.Pipeline.stage_name stage in
+                  (name, Json.Int (counter ("pipeline.stage_runs." ^ name))))
+                Core.Pipeline.stages) );
     ]
 
 let append_run_record ~path record =

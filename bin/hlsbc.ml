@@ -2,8 +2,10 @@
 
    Subcommands:
      list                     benchmark designs and devices
+     passes                   stages of the compile pipeline
      classify  DESIGN         source-level broadcast report (section 3)
      compile   DESIGN         compile under a recipe, print Fmax/resources
+                              (--dump-after STAGE, --explain)
      profile   DESIGN         compile with telemetry: spans + metrics
      path      DESIGN         critical path under a recipe
      schedule  DESIGN         schedule report of the design's first kernel
@@ -13,6 +15,8 @@
      ablation                 design-choice ablations *)
 
 module Experiments = Core.Experiments
+module Pipeline = Core.Pipeline
+module Diag = Hlsb_util.Diag
 module Pool = Hlsb_util.Pool
 module Calibrate = Hlsb_delay.Calibrate
 module Cal_cache = Hlsb_delay.Cal_cache
@@ -133,22 +137,6 @@ let compile name recipe =
   let s = find_design name in
   Core.Flow.compile_spec ~recipe:(recipe_of recipe) s
 
-let cmd_compile =
-  let run () name recipe json =
-    let r = compile name recipe in
-    if json then
-      print_endline (Json.to_string ~minify:false (Core.Flow.result_to_json r))
-    else print_endline (Core.Flow.summary r)
-  in
-  let json_arg =
-    Arg.(
-      value & flag
-      & info [ "json" ] ~doc:"Print the result record as JSON instead of text.")
-  in
-  Cmd.v
-    (Cmd.info "compile" ~doc:"Compile a benchmark and report Fmax/resources")
-    Term.(const run $ jobs_term $ design_arg $ recipe_arg $ json_arg)
-
 let write_text ~path text =
   match open_out path with
   | exception Sys_error msg ->
@@ -158,6 +146,104 @@ let write_text ~path text =
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc text)
+
+(* Structured diagnostics (stage + offending entity) render on stderr
+   with a non-zero exit, instead of an Invalid_argument backtrace. *)
+let fail_diag d =
+  Printf.eprintf "%s\n" (Diag.to_string d);
+  exit 1
+
+let stage_of_string s =
+  match Pipeline.stage_of_name (String.lowercase_ascii (String.trim s)) with
+  | Some st -> st
+  | None ->
+    Printf.eprintf "unknown stage %S (stages: %s)\n" s
+      (String.concat " | " (List.map Pipeline.stage_name Pipeline.stages));
+    exit 1
+
+let sanitize_filename name =
+  String.map
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let cmd_passes =
+  let run () =
+    print_endline "compile pipeline stages (in order):";
+    List.iter
+      (fun st ->
+        Printf.printf "  %-10s .%-4s  %s\n" (Pipeline.stage_name st)
+          (Pipeline.dump_extension st) (Pipeline.describe st))
+      Pipeline.stages;
+    print_endline
+      "\ndump any stage's artifact with: hlsbc compile DESIGN --dump-after STAGE"
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"List the compile pipeline's stages and their dump formats")
+    Term.(const run $ const ())
+
+let cmd_compile =
+  let run () name recipe json dump_after explain =
+    let s = find_design name in
+    let recipe = recipe_of recipe in
+    let session = Pipeline.of_spec s in
+    match Pipeline.run session ~recipe with
+    | Error d -> fail_diag d
+    | Ok r ->
+      if json then
+        print_endline (Json.to_string ~minify:false (Core.Flow.result_to_json r))
+      else print_endline (Core.Flow.summary r);
+      (match dump_after with
+      | None -> ()
+      | Some stage_s -> (
+        let stage = stage_of_string stage_s in
+        match Pipeline.dump_after session ~recipe stage with
+        | Error d -> fail_diag d
+        | Ok text ->
+          let path =
+            Printf.sprintf "%s.%s.dump.%s"
+              (sanitize_filename s.Spec.sp_name)
+              (Pipeline.stage_name stage)
+              (Pipeline.dump_extension stage)
+          in
+          write_text ~path text;
+          Printf.printf "wrote %s\n" path));
+      if explain then begin
+        print_newline ();
+        print_string (Pipeline.explain session)
+      end
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the result record as JSON instead of text.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-after" ] ~docv:"STAGE"
+          ~doc:
+            "Write the named stage's artifact (dataflow/schedule/netlist/\
+             timing dump) to $(b,DESIGN.STAGE.dump.EXT) in the current \
+             directory. See $(b,hlsbc passes) for the stage list.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "After compiling, print the per-stage table of the run (ran / \
+             cached / skipped, wall-clock) and any diagnostics.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a benchmark and report Fmax/resources")
+    Term.(
+      const run $ jobs_term $ design_arg $ recipe_arg $ json_arg $ dump_arg
+      $ explain_arg)
 
 let cmd_profile =
   let run () name recipe trace_out metrics_out quiet =
@@ -315,15 +401,18 @@ let cmd_cc =
     | Error e ->
       Format.eprintf "%s: %a@." file Hlsb_frontend.Frontend.pp_error e;
       exit 1
-    | Ok df ->
+    | Ok df -> (
       let device = Hlsb_device.Device.ultrascale_plus in
       print_string (Core.Classify.to_string (Core.Classify.analyze ~device df));
-      let r =
-        Core.Flow.compile ~device ~recipe:(recipe_of recipe)
+      let session =
+        Pipeline.create ~device
           ~name:(Filename.remove_extension (Filename.basename file))
-          df
+          ~build:(fun () -> df)
+          ()
       in
-      print_endline (Core.Flow.summary r)
+      match Pipeline.run session ~recipe:(recipe_of recipe) with
+      | Error d -> fail_diag d
+      | Ok r -> print_endline (Core.Flow.summary r))
   in
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
@@ -525,6 +614,7 @@ let () =
        (Cmd.group info
           [
             cmd_list;
+            cmd_passes;
             cmd_classify;
             cmd_compile;
             cmd_profile;

@@ -31,12 +31,14 @@ let run_table1 ?subset ?jobs () =
         (fun s -> List.mem s.Spec.sp_name names)
         Hlsb_designs.Suite.all
   in
-  (* Each benchmark compiles twice (original/optimized recipes); rows are
+  (* Each benchmark compiles twice (original/optimized recipes) through
+     one pipeline session, so elaboration is shared; rows are
      independent, so fan them out across the pool. *)
   Pool.map_list ?jobs
     (fun spec ->
-      let orig = Flow.compile_spec ~recipe:Style.original spec in
-      let opt = Flow.compile_spec ~recipe:Style.optimized spec in
+      let session = Pipeline.of_spec spec in
+      let orig = Pipeline.run_exn session ~recipe:Style.original in
+      let opt = Pipeline.run_exn session ~recipe:Style.optimized in
       {
         t1_name = spec.Spec.sp_name;
         t1_broadcast = spec.Spec.sp_broadcast;
@@ -100,9 +102,12 @@ type variant_row = {
 let run_table2 ?(width = 512) () =
   let build () = Hlsb_designs.Vector_arith.dataflow ~width () in
   let dev = Device.ultrascale_plus in
-  let compile recipe =
-    Flow.compile ~device:dev ~recipe ~name:"vector_arith" (build ())
+  (* one session: all three variants are Sched_aware, so they share both
+     the elaboration and the schedule artifact *)
+  let session =
+    Pipeline.create ~device:dev ~name:"vector_arith" ~build ()
   in
+  let compile recipe = Pipeline.run_exn session ~recipe in
   [
     {
       vr_label = "Stall";
@@ -136,10 +141,12 @@ let run_table2 ?(width = 512) () =
 
 let run_table3 () =
   let dev = Device.virtex7_690t in
-  let compile recipe =
-    Flow.compile ~device:dev ~recipe ~name:"pattern_match"
-      (Hlsb_designs.Pattern_match.dataflow ())
+  let session =
+    Pipeline.create ~device:dev ~name:"pattern_match"
+      ~build:(fun () -> Hlsb_designs.Pattern_match.dataflow ())
+      ()
   in
+  let compile recipe = Pipeline.run_exn session ~recipe in
   [
     {
       vr_label = "Original";
@@ -266,15 +273,14 @@ let run_fig15 ?(factors = [ 8; 16; 32; 64; 128 ]) ?jobs () =
       (* actual delay of the baseline schedule's critical path, post route;
          pipeline control held fixed (skid) to isolate the data broadcast *)
       let pipe = Style.Skid { min_area = true } in
+      let session = Pipeline.of_kernel ~device:dev (kernel ()) in
       let orig =
-        Flow.compile_kernel ~device:dev
+        Pipeline.run_exn session
           ~recipe:{ Style.sched = Style.Sched_hls; pipe; sync = Style.Sync_naive }
-          (kernel ())
       in
       let opt =
-        Flow.compile_kernel ~device:dev
+        Pipeline.run_exn session
           ~recipe:{ Style.sched = Style.Sched_aware; pipe; sync = Style.Sync_naive }
-          (kernel ())
       in
       {
         f15_unroll = unroll;
@@ -326,23 +332,26 @@ let run_fig16 ?(iterations = [ 1; 2; 4; 8 ]) ?jobs () =
   let dev = Device.ultrascale_plus in
   Pool.map_list ?jobs
     (fun iters ->
-      let build () = Hlsb_designs.Stencil.dataflow ~iterations:iters () in
-      let stall =
-        Flow.compile ~device:dev
-          ~recipe:{ Style.sched = Style.Sched_aware; pipe = Style.Stall; sync = Style.Sync_naive }
+      (* stall and skid agree on Sched_aware, so the session reuses both
+         the elaborated network and the schedule between them *)
+      let session =
+        Pipeline.create ~device:dev
           ~name:(Printf.sprintf "stencil_x%d" iters)
-          (build ())
+          ~build:(fun () -> Hlsb_designs.Stencil.dataflow ~iterations:iters ())
+          ()
+      in
+      let stall =
+        Pipeline.run_exn session
+          ~recipe:{ Style.sched = Style.Sched_aware; pipe = Style.Stall; sync = Style.Sync_naive }
       in
       let skid =
-        Flow.compile ~device:dev
+        Pipeline.run_exn session
           ~recipe:
             {
               Style.sched = Style.Sched_aware;
               pipe = Style.Skid { min_area = true };
               sync = Style.Sync_naive;
             }
-          ~name:(Printf.sprintf "stencil_x%d" iters)
-          (build ())
       in
       let stages =
         List.fold_left
@@ -441,11 +450,16 @@ let run_fig19 ?(sizes = [ 8192; 16384; 32768; 65536; 131072 ]) ?jobs () =
   let dev = Device.ultrascale_plus in
   Pool.map_list ?jobs
     (fun words ->
-      let build () = Hlsb_designs.Stream_buffer.dataflow ~depth_words:words () in
+      let session =
+        Pipeline.create ~device:dev
+          ~name:(Printf.sprintf "stream_buffer_%d" words)
+          ~build:(fun () ->
+            Hlsb_designs.Stream_buffer.dataflow ~depth_words:words ())
+          ()
+      in
       let compile recipe name =
-        Flow.compile ~device:dev ~recipe
+        Pipeline.run_exn session ~recipe
           ~name:(Printf.sprintf "stream_buffer_%d_%s" words name)
-          (build ())
       in
       let orig = compile Style.original "orig" in
       let data_opt =
@@ -517,10 +531,12 @@ let run_ablations () =
   push "skid end-only buffer" (float_of_int f17.f17_end_only_bits) "bits";
   push "skid min-area buffer" (float_of_int f17.f17_min_area_bits) "bits";
   (* 3. sync pruning granularity on the HBM stencil *)
-  let hbm = Hlsb_designs.Hbm_stencil.dataflow () in
-  let compile recipe name =
-    Flow.compile ~device:Device.alveo_u50 ~recipe ~name hbm
+  let hbm_session =
+    Pipeline.create ~device:Device.alveo_u50 ~name:"hbm_stencil"
+      ~build:(fun () -> Hlsb_designs.Hbm_stencil.dataflow ())
+      ()
   in
+  let compile recipe name = Pipeline.run_exn hbm_session ~recipe ~name in
   let naive =
     compile
       { Style.sched = Style.Sched_aware; pipe = Style.Skid { min_area = true }; sync = Style.Sync_naive }

@@ -1,14 +1,11 @@
-module Device = Hlsb_device.Device
-module Netlist = Hlsb_netlist.Netlist
 module Timing = Hlsb_physical.Timing
 module Design = Hlsb_rtlgen.Design
 module Style = Hlsb_ctrl.Style
 module Spec = Hlsb_designs.Spec
 module Trace = Hlsb_telemetry.Trace
-module Metrics = Hlsb_telemetry.Metrics
 module Json = Hlsb_telemetry.Json
 
-type result = {
+type result = Pipeline.result = {
   fr_label : string;
   fr_recipe : Style.recipe;
   fr_fmax_mhz : float;
@@ -23,29 +20,7 @@ type result = {
 
 let of_design name (design : Design.t) =
   let report = Timing.run design.Design.device design.Design.netlist in
-  let lut, ff, bram, dsp =
-    Trace.with_span "utilization" (fun () ->
-      Netlist.utilization design.Design.netlist design.Design.device)
-  in
-  if Metrics.enabled () then begin
-    Metrics.incr "flow.compiles";
-    Metrics.set_gauge "flow.fmax_mhz" report.Timing.fmax_mhz;
-    Metrics.set_gauge "flow.critical_ns" report.Timing.critical_ns;
-    Metrics.set_gauge "flow.lut_pct" (100. *. lut);
-    Metrics.set_gauge "flow.ff_pct" (100. *. ff)
-  end;
-  {
-    fr_label = name ^ " [" ^ Style.label design.Design.recipe ^ "]";
-    fr_recipe = design.Design.recipe;
-    fr_fmax_mhz = report.Timing.fmax_mhz;
-    fr_critical_ns = report.Timing.critical_ns;
-    fr_lut_pct = 100. *. lut;
-    fr_ff_pct = 100. *. ff;
-    fr_bram_pct = 100. *. bram;
-    fr_dsp_pct = 100. *. dsp;
-    fr_design = design;
-    fr_timing = report;
-  }
+  Pipeline.finish ~name design report
 
 let in_compile_span ~name ~recipe f =
   if not (Trace.enabled ()) then f ()
@@ -73,36 +48,13 @@ let compile_spec ?target_mhz ~recipe (spec : Spec.t) =
          ~name:spec.Spec.sp_name df))
 
 let improvement_pct ~orig ~opt =
-  100. *. ((opt.fr_fmax_mhz /. orig.fr_fmax_mhz) -. 1.)
+  let base = orig.fr_fmax_mhz in
+  if not (Float.is_finite base) || base <= 0. then 0.
+  else
+    let pct = 100. *. ((opt.fr_fmax_mhz /. base) -. 1.) in
+    if Float.is_finite pct then pct else 0.
 
-let result_to_json r =
-  Json.Obj
-    [
-      ("label", Json.Str r.fr_label);
-      ("recipe", Json.Str (Style.label r.fr_recipe));
-      ("fmax_mhz", Json.Float r.fr_fmax_mhz);
-      ("critical_ns", Json.Float r.fr_critical_ns);
-      ("lut_pct", Json.Float r.fr_lut_pct);
-      ("ff_pct", Json.Float r.fr_ff_pct);
-      ("bram_pct", Json.Float r.fr_bram_pct);
-      ("dsp_pct", Json.Float r.fr_dsp_pct);
-      ("cells", Json.Int (Netlist.n_cells r.fr_design.Design.netlist));
-      ("nets", Json.Int (Netlist.n_nets r.fr_design.Design.netlist));
-      ( "kernels",
-        Json.List
-          (List.map
-             (fun (k : Design.kernel_info) ->
-               Json.Obj
-                 [
-                   ("name", Json.Str k.Design.ki_name);
-                   ("depth", Json.Int k.Design.ki_depth);
-                   ("registers_added", Json.Int k.Design.ki_registers_added);
-                   ("skid_bits", Json.Int k.Design.ki_skid_bits);
-                 ])
-             r.fr_design.Design.kernels) );
-      ("sync_groups", Json.Int r.fr_design.Design.sync_groups_emitted);
-      ("max_sync_fanout", Json.Int r.fr_design.Design.max_sync_fanout);
-    ]
+let result_to_json = Pipeline.result_to_json
 
 let summary r =
   Printf.sprintf

@@ -4,7 +4,7 @@
     {!Hlsb_ctrl.Style.original} to see what today's HLS emits, with
     {!Hlsb_ctrl.Style.optimized} to apply the paper's three techniques. *)
 
-type result = {
+type result = Pipeline.result = {
   fr_label : string;
   fr_recipe : Hlsb_ctrl.Style.recipe;
   fr_fmax_mhz : float;
@@ -37,7 +37,9 @@ val compile_spec :
 (** Builds the benchmark on its paper-designated device. *)
 
 val improvement_pct : orig:result -> opt:result -> float
-(** Relative Fmax gain in percent, the paper's "Diff" column. *)
+(** Relative Fmax gain in percent, the paper's "Diff" column. Returns
+    [0.] when the baseline Fmax is zero or non-finite (a degenerate
+    compile) instead of letting [inf]/[nan] reach the report tables. *)
 
 val summary : result -> string
 

@@ -1,0 +1,152 @@
+(** The staged compile pipeline: the flow as an explicit list of named
+    stages ([elaborate], [classify], [schedule], [lower], [sync],
+    [place], [sta], [report]), each a function between typed stage
+    artifacts carried in a compile {!session}, each wrapped in a
+    telemetry span and per-stage run counters, and each reporting
+    failures as structured diagnostics ({!Hlsb_util.Diag.t}) instead of
+    letting [Invalid_argument]/[Failure] escape from deep inside rtlgen.
+
+    A session caches upstream artifacts keyed by the inputs that
+    actually affect them: elaboration is shared by every compile of the
+    session, scheduling is shared between recipes that agree on
+    [sched_mode], and a (recipe, name) pair that was already compiled is
+    served entirely from cache. Compiling the same design under
+    [Style.original] and [Style.optimized] — or sweeping buffer sizes
+    over recipes, as the Fig-19 driver does — therefore elaborates once
+    instead of once per recipe point.
+
+    [Flow.compile]/[compile_spec]/[compile_kernel] remain as thin
+    compatibility wrappers with byte-identical results (asserted by the
+    staged-vs-legacy equivalence tests). *)
+
+module Diag = Hlsb_util.Diag
+
+(** {1 Stages} *)
+
+type stage =
+  | Elaborate  (** build + validate the dataflow network *)
+  | Classify  (** source-level broadcast classification (on demand) *)
+  | Schedule  (** per-kernel chaining-aware scheduling *)
+  | Lower  (** netlist emission + channel wiring *)
+  | Sync  (** synchronization controllers *)
+  | Place  (** placement onto the device grid *)
+  | Sta  (** static timing analysis *)
+  | Report  (** utilization + result record assembly *)
+
+val stages : stage list
+(** In execution order. *)
+
+val stage_name : stage -> string
+val stage_of_name : string -> stage option
+val describe : stage -> string
+
+(** {1 Results} *)
+
+type result = {
+  fr_label : string;
+  fr_recipe : Hlsb_ctrl.Style.recipe;
+  fr_fmax_mhz : float;
+  fr_critical_ns : float;
+  fr_lut_pct : float;
+  fr_ff_pct : float;
+  fr_bram_pct : float;
+  fr_dsp_pct : float;
+  fr_design : Hlsb_rtlgen.Design.t;
+  fr_timing : Hlsb_physical.Timing.report;
+}
+(** The compile result record ([Flow.result] is an alias of this type). *)
+
+val result_to_json : result -> Hlsb_telemetry.Json.t
+
+val finish :
+  name:string -> Hlsb_rtlgen.Design.t -> Hlsb_physical.Timing.report -> result
+(** The [report] stage body: utilization + record assembly (shared with
+    the legacy [Flow] wrappers so both paths emit identical records and
+    metrics). *)
+
+(** {1 Sessions} *)
+
+type session
+
+val create :
+  ?target_mhz:float ->
+  device:Hlsb_device.Device.t ->
+  name:string ->
+  build:(unit -> Hlsb_ir.Dataflow.t) ->
+  unit ->
+  session
+
+val of_spec : ?target_mhz:float -> Hlsb_designs.Spec.t -> session
+(** Session elaborating the benchmark on its paper-designated device. *)
+
+val of_kernel :
+  ?target_mhz:float -> device:Hlsb_device.Device.t -> Hlsb_ir.Kernel.t -> session
+(** Single-kernel session. Matches [Flow.compile_kernel] naming: the
+    netlist is named [<kernel>_<recipe label>] per run, the result label
+    after the kernel alone. *)
+
+val run :
+  ?name:string ->
+  session ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  (result, Diag.t) Stdlib.result
+(** Compile under [recipe], reusing every cached artifact the recipe
+    permits. [?name] overrides the design name for this run only (the
+    Fig-19 sweep labels each recipe point); it keys the downstream
+    artifact cache together with the recipe. No [Invalid_argument] or
+    [Failure] escapes: malformed inputs surface as [Error d] with stage
+    and entity names. *)
+
+val run_exn : ?name:string -> session -> recipe:Hlsb_ctrl.Style.recipe -> result
+(** [run], raising [Diag.Diagnostic] on error (for drivers that only
+    ever compile known-good designs). *)
+
+val classify_report : session -> Classify.report
+(** The [classify] stage: cached after the first call, counted in
+    {!stage_runs}. Raises [Diag.Diagnostic] if elaboration fails. *)
+
+(** {1 Observability} *)
+
+val stage_runs : session -> (string * int) list
+(** Stage name -> number of times its body actually executed over the
+    session's lifetime (cache hits do not count), sorted by stage order.
+    The two-recipe-session test asserts [elaborate = 1] here. *)
+
+type status = Ran | Cached | Skipped | Failed
+
+type stage_record = {
+  sr_stage : stage;
+  sr_status : status;
+  sr_ms : float;  (** wall-clock of the stage body; 0 unless [Ran] *)
+}
+
+val last_run : session -> stage_record list
+(** Stage records of the most recent {!run}, in stage order. Stages the
+    run never reached (or that only run on demand, like [classify]) are
+    reported [Skipped]. *)
+
+val explain : session -> string
+(** Per-stage table of the last run (status + timing) followed by any
+    diagnostics collected — the payload of [hlsbc compile --explain]. *)
+
+val diagnostics : session -> Diag.t list
+(** Every diagnostic the session has collected, oldest first. *)
+
+(** {1 Artifact dumps} *)
+
+val dump_extension : stage -> string
+(** ["dot"], ["json"] or ["txt"] — the natural format of each stage's
+    artifact dump. *)
+
+val dump_after :
+  ?name:string ->
+  session ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  stage ->
+  (string, Diag.t) Stdlib.result
+(** Render the artifact produced by the given stage under [recipe]:
+    elaborate -> dataflow JSON; classify -> text report; schedule ->
+    per-kernel schedule reports; lower -> pre-sync netlist DOT; sync ->
+    full netlist DOT; place -> placement summary JSON; sta -> timing
+    report JSON; report -> result JSON. Runs (or reuses) exactly the
+    stages needed. *)

@@ -66,13 +66,23 @@ let connectivity_components t =
     t.chans;
   Intgraph.connected_components g
 
-let validate t =
+type problem = {
+  pb_entity : [ `Channel of string | `Process of string ];
+  pb_message : string;
+}
+
+let problems t =
   let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let err entity fmt =
+    Printf.ksprintf
+      (fun s -> errors := { pb_entity = entity; pb_message = s } :: !errors)
+      fmt
+  in
   Vec.iteri
     (fun i c ->
       if c.c_src = -1 && c.c_dst = -1 then
-        err "channel %d (%s): dangling at both ends" i c.c_name)
+        err (`Channel c.c_name) "channel %d (%s): dangling at both ends" i
+          c.c_name)
     t.chans;
   (* every process should touch at least one channel *)
   let touched = Array.make (Vec.length t.procs) false in
@@ -83,8 +93,12 @@ let validate t =
     t.chans;
   Array.iteri
     (fun p ok ->
-      if not ok then err "process %d (%s): no channels" p (Vec.get t.procs p).p_name)
+      let name = (Vec.get t.procs p).p_name in
+      if not ok then err (`Process name) "process %d (%s): no channels" p name)
     touched;
-  match !errors with
+  List.rev !errors
+
+let validate t =
+  match problems t with
   | [] -> Ok ()
-  | es -> Error (String.concat "; " (List.rev es))
+  | ps -> Error (String.concat "; " (List.map (fun p -> p.pb_message) ps))

@@ -56,4 +56,15 @@ val connectivity_components : t -> int array
     (ignoring sync groups): the "elementary flow control units" view used by
     §4.2 to find independent flows glued together by a sync group. *)
 
+type problem = {
+  pb_entity : [ `Channel of string | `Process of string ];
+  pb_message : string;
+}
+
+val problems : t -> problem list
+(** Structural well-formedness issues, one per offending entity: channels
+    dangling at both ends, processes touching no channel. Empty for a
+    valid network. The compile pipeline turns each into a structured
+    diagnostic; {!validate} joins them into one legacy error string. *)
+
 val validate : t -> (unit, string) result

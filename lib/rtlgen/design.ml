@@ -6,6 +6,7 @@ module Calibrate = Hlsb_delay.Calibrate
 module Schedule = Hlsb_sched.Schedule
 module Style = Hlsb_ctrl.Style
 module Sync = Hlsb_ctrl.Sync
+module Diag = Hlsb_util.Diag
 module Trace = Hlsb_telemetry.Trace
 module Metrics = Hlsb_telemetry.Metrics
 module Json = Hlsb_telemetry.Json
@@ -26,28 +27,41 @@ type t = {
   max_sync_fanout : int;
 }
 
+type datapath = {
+  dp_netlist : Netlist.t;
+  dp_lowered : Lower.t option array;
+}
+
 let schedule_mode device (recipe : Style.recipe) =
   match recipe.Style.sched with
   | Style.Sched_hls -> Schedule.Baseline
   | Style.Sched_aware -> Schedule.Broadcast_aware (Calibrate.shared device)
 
-let generate_body ~target_mhz ~device ~recipe ~name (df : Dataflow.t) =
-  (match Dataflow.validate df with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Design.generate: " ^ msg));
-  let nl = Netlist.create ~name in
+(* ---- stage: schedule ---- *)
+
+let schedule_processes ?(target_mhz = 300.) ~device ~recipe (df : Dataflow.t) =
   let mode = schedule_mode device recipe in
+  let n_procs = Dataflow.n_processes df in
+  Array.init n_procs (fun p ->
+    Option.map
+      (fun kernel -> Schedule.run ~target_mhz mode kernel)
+      (Dataflow.process df p).Dataflow.p_kernel)
+
+(* ---- stage: lower (kernels to macro cells, then channel wiring) ---- *)
+
+let lower_processes ~device ~recipe ~name (df : Dataflow.t)
+    (scheds : Schedule.t option array) =
+  let nl = Netlist.create ~name in
   let fanout_trees = recipe.Style.sched = Style.Sched_aware in
   let n_procs = Dataflow.n_processes df in
   let lowered = Array.make n_procs None in
   (* Lower kernels process-by-process so placement clusters each process. *)
   for p = 0 to n_procs - 1 do
-    match (Dataflow.process df p).Dataflow.p_kernel with
+    match scheds.(p) with
     | None -> ()
-    | Some kernel ->
-      let sched = Schedule.run ~target_mhz mode kernel in
-      let lw = Lower.lower device nl ~pipe:recipe.Style.pipe ~fanout_trees sched in
-      lowered.(p) <- Some lw
+    | Some sched ->
+      lowered.(p) <-
+        Some (Lower.lower device nl ~pipe:recipe.Style.pipe ~fanout_trees sched)
   done;
   (* Wire channels: writer interface -> reader FIFO cell, matched by name. *)
   Trace.with_span "wire_channels" (fun () ->
@@ -55,6 +69,13 @@ let generate_body ~target_mhz ~device ~recipe ~name (df : Dataflow.t) =
     (fun (c : Dataflow.channel) ->
       let find_iface p ifaces =
         List.find_opt (fun (n, _, _) -> n = c.Dataflow.c_name) (ifaces p)
+      in
+      let proc_name p = (Dataflow.process df p).Dataflow.p_name in
+      let missing_fifo ~side p =
+        Diag.fail ~stage:"lower"
+          ~entity:(Diag.Channel c.Dataflow.c_name)
+          "channel %s has no matching FIFO %s interface in kernel %s"
+          c.Dataflow.c_name side (proc_name p)
       in
       let wr =
         if c.Dataflow.c_src < 0 then None
@@ -85,12 +106,16 @@ let generate_body ~target_mhz ~device ~recipe ~name (df : Dataflow.t) =
              ~name:("chan_" ^ c.Dataflow.c_name)
              ~driver:wcell ~sinks:[ port ] ~width ())
       | None, _ when c.Dataflow.c_src < 0 -> () (* external input: fed by port *)
-      | _ ->
-        invalid_arg
-          (Printf.sprintf "Design.generate: channel %s has no matching FIFO"
-             c.Dataflow.c_name))
+      | None, _ -> missing_fifo ~side:"write" c.Dataflow.c_src
+      | Some _, None -> missing_fifo ~side:"read" c.Dataflow.c_dst)
     (Dataflow.channels df));
-  (* Synchronization controllers. *)
+  { dp_netlist = nl; dp_lowered = lowered }
+
+(* ---- stage: sync (controllers over the lowered datapath) ---- *)
+
+let emit_sync ~device ~recipe (df : Dataflow.t) (dp : datapath) =
+  let nl = dp.dp_netlist in
+  let lowered = dp.dp_lowered in
   let n_groups = ref 0 in
   let max_fanout = ref 0 in
   Trace.with_span "sync_controllers" (fun () ->
@@ -187,14 +212,14 @@ let generate_body ~target_mhz ~device ~recipe ~name (df : Dataflow.t) =
     Metrics.incr ~by:(Netlist.n_nets nl) "netlist.nets";
     Metrics.incr ~by:!n_groups "sync.controllers";
     Metrics.set_gauge_int "sync.max_start_fanout" !max_fanout;
-    List.iter
+    Array.iter
       (fun lw ->
         match lw with
         | None -> ()
         | Some lw ->
           Metrics.incr ~by:lw.Lower.lw_registers_added "lower.registers_added";
           Metrics.incr ~by:lw.Lower.lw_skid_bits "lower.skid_bits")
-      (Array.to_list lowered)
+      lowered
   end;
   {
     netlist = nl;
@@ -205,18 +230,32 @@ let generate_body ~target_mhz ~device ~recipe ~name (df : Dataflow.t) =
     max_sync_fanout = !max_fanout;
   }
 
+(* ---- legacy single-call entry point ---- *)
+
+let generate_body ~target_mhz ~device ~recipe ~name (df : Dataflow.t) =
+  (match Dataflow.validate df with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Design.generate: " ^ msg));
+  let scheds = schedule_processes ~target_mhz ~device ~recipe df in
+  let dp = lower_processes ~device ~recipe ~name df scheds in
+  emit_sync ~device ~recipe df dp
+
 let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
-  if not (Trace.enabled ()) then
-    generate_body ~target_mhz ~device ~recipe ~name df
+  let body () =
+    (* the pre-pipeline contract: malformed inputs raise Invalid_argument *)
+    try generate_body ~target_mhz ~device ~recipe ~name df
+    with Diag.Diagnostic d -> invalid_arg ("Design.generate: " ^ d.Diag.d_message)
+  in
+  if not (Trace.enabled ()) then body ()
   else
     Trace.with_span "generate"
       ~attrs:
         [
           ("design", Json.Str name); ("recipe", Json.Str (Style.label recipe));
         ]
-      (fun () -> generate_body ~target_mhz ~device ~recipe ~name df)
+      body
 
-let single_kernel ?(target_mhz = 300.) ~device ~recipe kernel =
+let kernel_dataflow kernel =
   let df = Dataflow.create () in
   let p =
     Dataflow.add_process df ~name:kernel.Kernel.name ~kernel ()
@@ -227,6 +266,9 @@ let single_kernel ?(target_mhz = 300.) ~device ~recipe kernel =
     (Dataflow.add_channel df
        ~name:(kernel.Kernel.name ^ "_anchor")
        ~src:(-1) ~dst:p ~dtype:(Dtype.Uint 8) ());
+  df
+
+let single_kernel ?(target_mhz = 300.) ~device ~recipe kernel =
   generate ~target_mhz ~device ~recipe
     ~name:(kernel.Kernel.name ^ "_" ^ Style.label recipe)
-    df
+    (kernel_dataflow kernel)

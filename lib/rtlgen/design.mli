@@ -3,7 +3,14 @@
     and emits the synchronization controllers — naive (one AND-tree over
     every done in a sync group, one start broadcast to every member,
     Fig. 6) or pruned (§4.2: independent flows get their own controller;
-    parallel modules wait only on the longest static latency). *)
+    parallel modules wait only on the longest static latency).
+
+    The work is exposed both as the legacy single-call {!generate} and as
+    the three staged functions the compile pipeline ([Core.Pipeline]) runs
+    and caches individually: {!schedule_processes} (pure per-kernel
+    scheduling, reusable across recipes that share a [sched_mode]),
+    {!lower_processes} (netlist emission + channel wiring) and
+    {!emit_sync} (controller emission, completing a {!t}). *)
 
 type kernel_info = {
   ki_name : string;
@@ -21,6 +28,49 @@ type t = {
   max_sync_fanout : int;  (** largest start-broadcast fanout emitted *)
 }
 
+type datapath = {
+  dp_netlist : Hlsb_netlist.Netlist.t;
+  dp_lowered : Lower.t option array;  (** indexed by process id *)
+}
+(** Artifact of the [lower] stage: the netlist holding every kernel's
+    datapath with channels wired, before synchronization controllers.
+    [emit_sync] appends to [dp_netlist] in place — a datapath feeds
+    exactly one {!emit_sync} call. *)
+
+val schedule_mode :
+  Hlsb_device.Device.t -> Hlsb_ctrl.Style.recipe -> Hlsb_sched.Schedule.mode
+
+val schedule_processes :
+  ?target_mhz:float ->
+  device:Hlsb_device.Device.t ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  Hlsb_ir.Dataflow.t ->
+  Hlsb_sched.Schedule.t option array
+(** Schedule every kernel process ([None] for kernel-less processes).
+    Depends only on the recipe's [sched] mode (and the target clock), so
+    the pipeline reuses the result across recipes that agree on it. *)
+
+val lower_processes :
+  device:Hlsb_device.Device.t ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  name:string ->
+  Hlsb_ir.Dataflow.t ->
+  Hlsb_sched.Schedule.t option array ->
+  datapath
+(** Lower the scheduled kernels into a fresh netlist and wire the
+    cross-kernel FIFO channels. Raises {!Hlsb_util.Diag.Diagnostic}
+    (stage ["lower"], entity [Channel]) naming both the channel and the
+    offending kernel when an endpoint lacks the matching FIFO interface. *)
+
+val emit_sync :
+  device:Hlsb_device.Device.t ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  Hlsb_ir.Dataflow.t ->
+  datapath ->
+  t
+(** Emit the synchronization controllers into the datapath's netlist and
+    assemble the design record. *)
+
 val generate :
   ?target_mhz:float ->
   device:Hlsb_device.Device.t ->
@@ -28,8 +78,15 @@ val generate :
   name:string ->
   Hlsb_ir.Dataflow.t ->
   t
-(** Raises [Invalid_argument] if the dataflow network fails validation or a
-    channel endpoint kernel lacks the correspondingly-named FIFO. *)
+(** The staged functions above in sequence, after validating the network.
+    Raises [Invalid_argument] if the dataflow network fails validation or a
+    channel endpoint kernel lacks the correspondingly-named FIFO (the
+    structured diagnostic is converted for backward compatibility; use the
+    pipeline API to receive it as data). *)
+
+val kernel_dataflow : Hlsb_ir.Kernel.t -> Hlsb_ir.Dataflow.t
+(** Wrap one kernel in a single-process dataflow network (with the anchor
+    input channel that makes it validate), as {!single_kernel} does. *)
 
 val single_kernel :
   ?target_mhz:float ->

@@ -14,6 +14,7 @@ let () =
       ("rtlgen", T_rtlgen.suite);
       ("designs", T_designs.suite);
       ("core", T_core.suite);
+      ("pipeline", T_pipeline.suite);
       ("frontend", T_frontend.suite);
       ("export", T_export.suite);
     ]
