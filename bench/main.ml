@@ -19,6 +19,14 @@
                      sequential/parallel runs can sit side by side
      --label STR     free-form label stored in the run record
      --no-bechamel   skip the Bechamel micro-timing pass
+     --sweep-jobs 1,2,4
+                     scaling self-check: run the selected sections once per
+                     job count (fresh trace + metrics each, Bechamel
+                     skipped), append one labelled record per run to
+                     --json, and print a scaling table; exits non-zero if
+                     any parallel run is more than 1.25x the first
+                     (baseline) run — run against a warm calibration cache
+                     so characterization noise does not drown the signal
 
    Sections:
      table1  - Table 1: nine benchmarks, original vs optimized
@@ -219,6 +227,8 @@ let run_record ~label ~jobs trace registry =
     [
       ("label", Json.Str label);
       ("jobs", Json.Int jobs);
+      ("effective_jobs", Json.Int (Pool.default_jobs ()));
+      ("cores", Json.Int (Domain.recommended_domain_count ()));
       ( "cache_dir",
         match Hlsb_delay.Cal_cache.ambient_dir () with
         | Some d -> Json.Str d
@@ -275,13 +285,98 @@ let append_run_record ~path record =
   write_text ~path (Json.to_string ~minify:false doc ^ "\n");
   Printf.printf "bench record appended to %s\n" path
 
+(* One full pass over the selected sections under a fresh trace + metrics
+   registry, so repeated passes (the jobs sweep) never smear into each
+   other's timings or counters. *)
+let run_suite ~only ~no_bechamel () =
+  let trace = Trace.create () in
+  let registry = Metrics.create () in
+  Trace.with_collector trace (fun () ->
+    Metrics.with_registry registry (fun () ->
+      Trace.with_span "evaluation" (run_all_experiments ~only);
+      if not no_bechamel then Trace.with_span "bechamel" bechamel_suite));
+  (trace, registry)
+
+let total_s trace = Int64.to_float (Trace.total_ns trace) /. 1e9
+
+(* The parallel regression guard, runnable locally: the whole point of a
+   persistent pool + lock-free calibrate + sharded metrics is that adding
+   workers must never make a warm run slower. 1.25x leaves room for
+   machine noise (and for 1-core machines, where parallelism can only
+   break even) while still catching contention collapses like the 2.2x
+   slowdown this check was written against. *)
+let sweep_max_ratio = 1.25
+
+let run_sweep ~only ~json_path ~label sweep =
+  let base_label = if label <> "" then label else "sweep" in
+  let results =
+    List.map
+      (fun j ->
+        Pool.set_default_jobs j;
+        let eff = Pool.default_jobs () in
+        if eff = j then Printf.printf "\n##### jobs sweep: %d job(s) #####\n%!" j
+        else
+          Printf.printf
+            "\n##### jobs sweep: %d job(s) (capped to %d: machine has %d \
+             core(s)) #####\n\
+             %!"
+            j eff
+            (Domain.recommended_domain_count ());
+        let trace, registry = run_suite ~only ~no_bechamel:true () in
+        let total = total_s trace in
+        Printf.printf "\n[jobs=%d total %.2fs]\n%!" j total;
+        if json_path <> "" then
+          append_run_record ~path:json_path
+            (run_record
+               ~label:(Printf.sprintf "%s-jobs%d" base_label j)
+               ~jobs:j trace registry);
+        (j, total))
+      sweep
+  in
+  match results with
+  | [] -> ()
+  | (base_jobs, base_total) :: rest ->
+    Printf.printf "\n===== scaling (cores: %d) =====\n"
+      (Domain.recommended_domain_count ());
+    Printf.printf "  %5s %10s %8s\n" "jobs" "total_s" "ratio";
+    List.iter
+      (fun (j, t) -> Printf.printf "  %5d %10.2f %8.2f\n" j t (t /. base_total))
+      results;
+    let failures =
+      List.filter (fun (_, t) -> t > sweep_max_ratio *. base_total) rest
+    in
+    if failures = [] then
+      Printf.printf
+        "scaling self-check: PASS (no run above %.2fx the jobs=%d baseline)\n"
+        sweep_max_ratio base_jobs
+    else begin
+      List.iter
+        (fun (j, t) ->
+          Printf.printf
+            "scaling self-check: FAIL jobs=%d took %.2fs = %.2fx jobs=%d \
+             (limit %.2fx)\n"
+            j t (t /. base_total) base_jobs sweep_max_ratio)
+        failures;
+      exit 3
+    end
+
 let () =
   let jobs = ref 0 in
   let only = ref [] in
   let json_path = ref "" in
   let label = ref "" in
   let no_bechamel = ref false in
+  let sweep = ref [] in
   let split_csv s = String.split_on_char ',' s |> List.filter (( <> ) "") in
+  let parse_sweep s =
+    sweep :=
+      List.map
+        (fun v ->
+          match int_of_string_opt v with
+          | Some j when j >= 1 -> j
+          | _ -> raise (Arg.Bad ("bad --sweep-jobs value " ^ v)))
+        (split_csv s)
+  in
   Arg.parse
     [
       ("--jobs", Arg.Set_int jobs, "N  worker domains for parallel sections");
@@ -291,9 +386,13 @@ let () =
       ("--json", Arg.Set_string json_path, "PATH  append a run record to PATH");
       ("--label", Arg.Set_string label, "STR  label stored in the run record");
       ("--no-bechamel", Arg.Set no_bechamel, "  skip the Bechamel pass");
+      ( "--sweep-jobs",
+        Arg.String parse_sweep,
+        "1,2,4  run once per job count and print a scaling table" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--jobs N] [--only sections] [--json PATH] [--label STR] [--no-bechamel]";
+    "bench [--jobs N] [--only sections] [--json PATH] [--label STR] \
+     [--no-bechamel] [--sweep-jobs 1,2,4]";
   if !jobs > 0 then Pool.set_default_jobs !jobs;
   List.iter
     (fun s ->
@@ -306,18 +405,15 @@ let () =
     "Broadcast-aware HLS timing optimization - evaluation reproduction\n\
      (DAC 2020: Analysis and Optimization of the Implicit Broadcasts in\n\
     \ FPGA HLS to Improve Maximum Frequency)\n";
-  Printf.printf "jobs: %d\n" (Pool.default_jobs ());
-  let trace = Trace.create () in
-  let registry = Metrics.create () in
-  Trace.with_collector trace (fun () ->
-    Metrics.with_registry registry (fun () ->
-      Trace.with_span "evaluation" (run_all_experiments ~only:!only);
-      if not !no_bechamel then Trace.with_span "bechamel" bechamel_suite));
-  Printf.printf "\nTotal evaluation time: %.1fs\n"
-    (Int64.to_float (Trace.total_ns trace) /. 1e9);
-  write_profile trace registry;
-  if !json_path <> "" then begin
-    let label = if !label <> "" then !label else "run" in
-    append_run_record ~path:!json_path
-      (run_record ~label ~jobs:(Pool.default_jobs ()) trace registry)
+  if !sweep <> [] then run_sweep ~only:!only ~json_path:!json_path ~label:!label !sweep
+  else begin
+    Printf.printf "jobs: %d\n" (Pool.default_jobs ());
+    let trace, registry = run_suite ~only:!only ~no_bechamel:!no_bechamel () in
+    Printf.printf "\nTotal evaluation time: %.1fs\n" (total_s trace);
+    write_profile trace registry;
+    if !json_path <> "" then begin
+      let label = if !label <> "" then !label else "run" in
+      append_run_record ~path:!json_path
+        (run_record ~label ~jobs:(Pool.default_jobs ()) trace registry)
+    end
   end

@@ -62,11 +62,18 @@ let int_grid_json g = Json.List (Array.to_list g |> List.map (fun v -> Json.Int 
 
 let curve_json c = Json.List (Array.to_list c |> List.map (fun v -> Json.Float v))
 
+(* Keys are sorted so the file bytes are canonical: the in-memory assoc
+   list is in insertion order, which depends on characterization order and
+   hence on the job count, and byte-identical caches across job counts is a
+   determinism guarantee we test for. *)
 let to_json ~factor_grid ~unit_grid d e =
   let mem =
     List.filter_map
       (fun (k, v) -> Option.map (fun c -> (k, curve_json c)) v)
       [ ("write", e.e_mem_wr); ("read", e.e_mem_rd) ]
+  in
+  let ops =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) e.e_ops
   in
   Json.Obj
     [
@@ -75,7 +82,7 @@ let to_json ~factor_grid ~unit_grid d e =
       ("fingerprint", Json.Str (fingerprint d));
       ("factor_grid", int_grid_json factor_grid);
       ("unit_grid", int_grid_json unit_grid);
-      ("ops", Json.Obj (List.map (fun (k, c) -> (k, curve_json c)) e.e_ops));
+      ("ops", Json.Obj (List.map (fun (k, c) -> (k, curve_json c)) ops));
       ("mem", Json.Obj mem);
     ]
 

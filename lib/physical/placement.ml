@@ -1,9 +1,14 @@
 module Device = Hlsb_device.Device
 module Netlist = Hlsb_netlist.Netlist
 
+(* Positions live in parallel unboxed float arrays (not an array of
+   (float * float) tuples): the relax sweeps and the wire-length queries
+   below are the hottest loops in the whole flow, and flat arrays read and
+   write without chasing or allocating a box per access. *)
 type t = {
   netlist : Netlist.t;
-  pos : (float * float) array;
+  xs : float array;
+  ys : float array;
   fp : int array;
   max_x : float;
   max_y : float;
@@ -43,9 +48,16 @@ let footprint (d : Device.t) (c : Netlist.cell) =
   let extra = (r.Netlist.r_dsps * 3) + (r.Netlist.r_bram18 * 5) in
   max 1 (slices + extra)
 
+(* Cell classification for the refinement sweeps, precomputed once instead
+   of re-deriving kind + degree checks n times per sweep. *)
+let cls_fixed = 0
+let cls_movable = 1  (* light Seq with both fanin and fanout *)
+let cls_light_comb = 2
+
 let place (d : Device.t) nl =
   let n = Netlist.n_cells nl in
-  let pos = Array.make n (0., 0.) in
+  let xs = Array.make n 0. in
+  let ys = Array.make n 0. in
   let fp = Array.make n 1 in
   let side =
     let rec grow k = if k >= d.cols && k >= d.rows then k else grow (2 * k) in
@@ -83,79 +95,107 @@ let place (d : Device.t) nl =
       max_x := Stdlib.max !max_x (float_of_int x);
       max_y := Stdlib.max !max_y (float_of_int y)
     done;
-    pos.(id) <- (!sx /. float_of_int s, !sy /. float_of_int s));
+    xs.(id) <- !sx /. float_of_int s;
+    ys.(id) <- !sy /. float_of_int s);
   (* Register refinement: a timing-driven placer (and phys_opt) pulls light
      register cells to the midpoint between their driver and their sinks, so
      a chain of pipeline registers inserted across a long route settles at
      evenly spaced waypoints — each clock period then pays only a segment of
      the total distance. Heavy cells (logic macros, BRAM, DSP) stay where
-     the packer put them. *)
-  let fanin_of = Array.make n [] in
-  let fanout_of = Array.make n [] in
+     the packer put them.
+
+     Fanin/fanout are CSR int arrays (offsets + flat adjacency), built in
+     two passes, so the 24 sweeps below never touch a list. The slices are
+     filled back to front while iterating nets forward: a forward read of a
+     slice then visits edges in reverse net-encounter order, which is
+     exactly the order the previous cons-list representation folded in —
+     float summation order, and hence every position, stays bit-identical. *)
+  let indeg = Array.make n 0 in
+  let outdeg = Array.make n 0 in
   Netlist.iter_nets nl (fun _ net ->
+    let drv = net.Netlist.n_driver in
     Array.iter
       (fun s ->
-        fanin_of.(s) <- net.Netlist.n_driver :: fanin_of.(s);
-        fanout_of.(net.Netlist.n_driver) <- s :: fanout_of.(net.Netlist.n_driver))
+        indeg.(s) <- indeg.(s) + 1;
+        outdeg.(drv) <- outdeg.(drv) + 1)
       net.Netlist.n_sinks);
-  let movable id =
-    fp.(id) <= 64
-    && fanin_of.(id) <> []
-    && fanout_of.(id) <> []
-    && (Netlist.cell nl id).Netlist.c_kind = Netlist.Seq
-  in
-  let centroid cells =
-    let sx, sy, k =
-      List.fold_left
-        (fun (sx, sy, k) c ->
-          let x, y = pos.(c) in
-          (sx +. x, sy +. y, k + 1))
-        (0., 0., 0) cells
-    in
-    (sx /. float_of_int k, sy /. float_of_int k)
-  in
+  let in_off = Array.make (n + 1) 0 in
+  let out_off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    in_off.(i + 1) <- in_off.(i) + indeg.(i);
+    out_off.(i + 1) <- out_off.(i) + outdeg.(i)
+  done;
+  let in_adj = Array.make in_off.(n) 0 in
+  let out_adj = Array.make out_off.(n) 0 in
+  let in_pos = Array.init n (fun i -> in_off.(i + 1)) in
+  let out_pos = Array.init n (fun i -> out_off.(i + 1)) in
+  Netlist.iter_nets nl (fun _ net ->
+    let drv = net.Netlist.n_driver in
+    Array.iter
+      (fun s ->
+        in_pos.(s) <- in_pos.(s) - 1;
+        in_adj.(in_pos.(s)) <- drv;
+        out_pos.(drv) <- out_pos.(drv) - 1;
+        out_adj.(out_pos.(drv)) <- s)
+      net.Netlist.n_sinks);
+  let cls = Bytes.make n (Char.chr cls_fixed) in
+  for id = 0 to n - 1 do
+    if fp.(id) <= 64 && indeg.(id) > 0 && outdeg.(id) > 0 then
+      match (Netlist.cell nl id).Netlist.c_kind with
+      | Netlist.Seq -> Bytes.unsafe_set cls id (Char.chr cls_movable)
+      | Netlist.Comb -> Bytes.unsafe_set cls id (Char.chr cls_light_comb)
+      | _ -> ()
+  done;
   (* Light combinational cells (muxes, reduce-tree nodes) are likewise
      pulled toward their pin centroid but stay 25% anchored to their packed
      slot, so gather structures sit near their operands without collapsing
      the global spread that the broadcast wire model depends on. The two
      rules interleave until positions settle. *)
-  let slot = Array.copy pos in
-  let light_comb id =
-    fp.(id) <= 64
-    && fanin_of.(id) <> []
-    && fanout_of.(id) <> []
-    && (Netlist.cell nl id).Netlist.c_kind = Netlist.Comb
-  in
+  let slot_x = Array.copy xs in
+  let slot_y = Array.copy ys in
   (* Sweeps alternate direction (Gauss-Seidel): long register chains relax
      to evenly spaced waypoints in a few passes instead of diffusing one
      hop per pass. *)
   let relax id =
-      if movable id then begin
+    let c = Char.code (Bytes.unsafe_get cls id) in
+    if c <> cls_fixed then begin
+      let isx = ref 0. and isy = ref 0. in
+      for k = in_off.(id) to in_off.(id + 1) - 1 do
+        let p = in_adj.(k) in
+        isx := !isx +. xs.(p);
+        isy := !isy +. ys.(p)
+      done;
+      let osx = ref 0. and osy = ref 0. in
+      for k = out_off.(id) to out_off.(id + 1) - 1 do
+        let p = out_adj.(k) in
+        osx := !osx +. xs.(p);
+        osy := !osy +. ys.(p)
+      done;
+      let ki = float_of_int indeg.(id) and ko = float_of_int outdeg.(id) in
+      let ix = !isx /. ki and iy = !isy /. ki in
+      let ox = !osx /. ko and oy = !osy /. ko in
+      if c = cls_movable then begin
         (* star-model equilibrium: the register settles at the pin-count
            weighted centroid, so a fanout-tree leaf sits with its sinks
            while a 1-in/1-out chain register sits at the midpoint *)
-        let ix, iy = centroid fanin_of.(id) in
-        let ox, oy = centroid fanout_of.(id) in
         (* sqrt weighting: balances hop delays along pipelined chains while
            still pulling multi-sink leaves toward their cluster *)
-        let wi = sqrt (float_of_int (List.length fanin_of.(id))) in
-        let wo = sqrt (float_of_int (List.length fanout_of.(id))) in
-        pos.(id) <-
-          ( ((ix *. wi) +. (ox *. wo)) /. (wi +. wo),
-            ((iy *. wi) +. (oy *. wo)) /. (wi +. wo) )
+        let wi = sqrt ki in
+        let wo = sqrt ko in
+        xs.(id) <- ((ix *. wi) +. (ox *. wo)) /. (wi +. wo);
+        ys.(id) <- ((iy *. wi) +. (oy *. wo)) /. (wi +. wo)
       end
-      else if light_comb id then begin
+      else begin
         (* Combinational cells hug their *sources* (gather trees sit at
            their operand clusters; downstream registers carry the
            distance), with a slight slot anchor so packed structure is not
            fully erased. *)
-        let ix, iy = centroid fanin_of.(id) in
-        let ox, oy = centroid fanout_of.(id) in
         let cx = (0.65 *. ix) +. (0.35 *. ox)
         and cy = (0.65 *. iy) +. (0.35 *. oy) in
-        let sx, sy = slot.(id) in
-        pos.(id) <- ((0.1 *. sx) +. (0.9 *. cx), (0.1 *. sy) +. (0.9 *. cy))
+        xs.(id) <- (0.1 *. slot_x.(id)) +. (0.9 *. cx);
+        ys.(id) <- (0.1 *. slot_y.(id)) +. (0.9 *. cy)
       end
+    end
   in
   for sweep = 1 to 24 do
     if sweep mod 2 = 1 then
@@ -167,38 +207,46 @@ let place (d : Device.t) nl =
         relax id
       done
   done;
-  { netlist = nl; pos; fp; max_x = !max_x; max_y = !max_y }
+  { netlist = nl; xs; ys; fp; max_x = !max_x; max_y = !max_y }
 
-let position t c = t.pos.(c)
+let position t c = (t.xs.(c), t.ys.(c))
 let footprint_slices t c = t.fp.(c)
+
+(* The wire-length queries below iterate the sinks array directly instead
+   of materializing [driver :: Array.to_list sinks]; they run once per net
+   per STA, so the per-call cons lists were pure GC pressure. Fold orders
+   are unchanged (driver first, then sinks in array order). *)
 
 let bbox t nid =
   let net = Netlist.net t.netlist nid in
-  let cells = net.Netlist.n_driver :: Array.to_list net.Netlist.n_sinks in
-  match cells with
-  | [] -> (0., 0., 0., 0.)
-  | first :: rest ->
-    let x0, y0 = t.pos.(first) in
-    List.fold_left
-      (fun (xmin, ymin, xmax, ymax) c ->
-        let x, y = t.pos.(c) in
-        (min xmin x, min ymin y, max xmax x, max ymax y))
-      (x0, y0, x0, y0) rest
+  let drv = net.Netlist.n_driver in
+  let xmin = ref t.xs.(drv) and ymin = ref t.ys.(drv) in
+  let xmax = ref t.xs.(drv) and ymax = ref t.ys.(drv) in
+  Array.iter
+    (fun s ->
+      let x = t.xs.(s) and y = t.ys.(s) in
+      if x < !xmin then xmin := x;
+      if y < !ymin then ymin := y;
+      if x > !xmax then xmax := x;
+      if y > !ymax then ymax := y)
+    net.Netlist.n_sinks;
+  (!xmin, !ymin, !xmax, !ymax)
 
 let hpwl t nid =
   let net = Netlist.net t.netlist nid in
-  if Array.length net.Netlist.n_sinks = 0 then 0.
+  let n_sinks = Array.length net.Netlist.n_sinks in
+  if n_sinks = 0 then 0.
   else begin
     let xmin, ymin, xmax, ymax = bbox t nid in
     (* Large cells are regions, not points: extend the bbox by the radius of
        the cells at its corners so a net feeding one huge macro still pays
        for crossing it. *)
     let spread =
-      List.fold_left
-        (fun acc c -> acc +. sqrt (float_of_int t.fp.(c)))
-        0.
-        (net.Netlist.n_driver :: Array.to_list net.Netlist.n_sinks)
-      /. float_of_int (1 + Array.length net.Netlist.n_sinks)
+      Array.fold_left
+        (fun acc s -> acc +. sqrt (float_of_int t.fp.(s)))
+        (sqrt (float_of_int t.fp.(net.Netlist.n_driver)))
+        net.Netlist.n_sinks
+      /. float_of_int (1 + n_sinks)
     in
     xmax -. xmin +. (ymax -. ymin) +. spread
   end
@@ -207,18 +255,19 @@ let star_length t nid =
   let net = Netlist.net t.netlist nid in
   if Array.length net.Netlist.n_sinks = 0 then 0.
   else begin
-    let dx, dy = t.pos.(net.Netlist.n_driver) in
+    let drv = net.Netlist.n_driver in
+    let dx = t.xs.(drv) and dy = t.ys.(drv) in
     let far =
       Array.fold_left
         (fun acc s ->
-          let x, y = t.pos.(s) in
-          Stdlib.max acc (abs_float (x -. dx) +. abs_float (y -. dy)))
+          Stdlib.max acc
+            (abs_float (t.xs.(s) -. dx) +. abs_float (t.ys.(s) -. dy)))
         0. net.Netlist.n_sinks
     in
     let spread =
       Array.fold_left
         (fun acc s -> acc +. sqrt (float_of_int t.fp.(s)))
-        (sqrt (float_of_int t.fp.(net.Netlist.n_driver)))
+        (sqrt (float_of_int t.fp.(drv)))
         net.Netlist.n_sinks
       /. float_of_int (1 + Array.length net.Netlist.n_sinks)
     in

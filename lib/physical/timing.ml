@@ -77,39 +77,98 @@ let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
   (* Arrival at each cell's *output*. Sequential cells and input ports
      launch at t_clk_q; combinational cells add their logic delay on top of
      the worst input arrival. Evaluate in dependence order via DFS with
-     cycle detection. *)
+     cycle detection — iteratively, on an explicit stack: a pipeline chain
+     tens of thousands of registers deep is a legitimate netlist, and the
+     natural recursive DFS overflows the OCaml stack on exactly the designs
+     this tool exists to analyze.
+
+     States: 0 unvisited, 1 on the DFS path (first visit done, inputs
+     pending), 2 done. A cell is visited twice: the first visit pushes its
+     unresolved predecessors (seeing a state-1 predecessor there means a
+     genuine combinational cycle — state-1 cells are precisely the current
+     DFS path); the revisit, once everything pushed above it has resolved,
+     folds its input arrivals in the same ascending-arc order and with the
+     same strict-> tie-breaking as the recursive version, so backpointers
+     and arrivals are bit-identical. Duplicate stack entries (a cell
+     demanded by several consumers before its first visit) are popped as
+     no-ops in state 2. *)
   let arrival = Array.make n nan in
   let bp_pred = Array.make n (-1) in
   let bp_net = Array.make n (-1) in
   let state = Array.make n 0 in
-  (* 0 unvisited / 1 in progress / 2 done *)
-  let rec output_arrival c =
-    if state.(c) = 2 then arrival.(c)
-    else if state.(c) = 1 then failwith "Timing: combinational cycle"
-    else begin
-      state.(c) <- 1;
-      let cell = Netlist.cell nl c in
-      let a =
-        match cell.Netlist.c_kind with
-        | Netlist.Seq | Netlist.Mem -> d.t_clk_q +. cell.Netlist.c_delay
-        | Netlist.Port_in -> 0.
-        | Netlist.Port_out | Netlist.Comb ->
+  (* Every arc pushes at most one entry and each [eval] pushes one root. *)
+  let stack = Array.make (n + n_arcs + 1) 0 in
+  let sp = ref 0 in
+  let push c =
+    stack.(!sp) <- c;
+    incr sp
+  in
+  let eval root =
+    if state.(root) <> 2 then begin
+      push root;
+      while !sp > 0 do
+        let c = stack.(!sp - 1) in
+        if state.(c) = 2 then decr sp
+        else if state.(c) = 0 then begin
+          state.(c) <- 1;
+          let cell = Netlist.cell nl c in
+          match cell.Netlist.c_kind with
+          | Netlist.Seq | Netlist.Mem ->
+            arrival.(c) <- d.t_clk_q +. cell.Netlist.c_delay;
+            state.(c) <- 2;
+            decr sp
+          | Netlist.Port_in ->
+            arrival.(c) <- 0.;
+            state.(c) <- 2;
+            decr sp
+          | Netlist.Port_out | Netlist.Comb ->
+            let pending = ref false in
+            for k = off.(c) to off.(c + 1) - 1 do
+              let p = arc_pred.(k) in
+              if state.(p) = 1 then failwith "Timing: combinational cycle"
+              else if state.(p) = 0 then begin
+                push p;
+                pending := true
+              end
+            done;
+            if not !pending then begin
+              (* all inputs already resolved: finalize in place *)
+              let worst = ref 0. in
+              for k = off.(c) to off.(c + 1) - 1 do
+                let t = arrival.(arc_pred.(k)) +. ndelay.(arc_net.(k)) in
+                if t > !worst then begin
+                  worst := t;
+                  bp_pred.(c) <- arc_pred.(k);
+                  bp_net.(c) <- arc_net.(k)
+                end
+              done;
+              arrival.(c) <- !worst +. cell.Netlist.c_delay;
+              state.(c) <- 2;
+              decr sp
+            end
+        end
+        else begin
+          (* revisit: every predecessor pushed above has resolved *)
           let worst = ref 0. in
           for k = off.(c) to off.(c + 1) - 1 do
-            let t = input_arrival arc_pred.(k) arc_net.(k) in
+            let t = arrival.(arc_pred.(k)) +. ndelay.(arc_net.(k)) in
             if t > !worst then begin
               worst := t;
               bp_pred.(c) <- arc_pred.(k);
               bp_net.(c) <- arc_net.(k)
             end
           done;
-          !worst +. cell.Netlist.c_delay
-      in
-      arrival.(c) <- a;
-      state.(c) <- 2;
-      a
+          arrival.(c) <- !worst +. (Netlist.cell nl c).Netlist.c_delay;
+          state.(c) <- 2;
+          decr sp
+        end
+      done
     end
-  and input_arrival pred nid = output_arrival pred +. ndelay.(nid) in
+  in
+  let input_arrival pred nid =
+    eval pred;
+    arrival.(pred) +. ndelay.(nid)
+  in
   (* Path endpoints: arrival at the *inputs* of sequential cells and output
      ports, plus setup. *)
   let worst = ref 0. in
@@ -129,7 +188,7 @@ let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
       done
     | Netlist.Comb | Netlist.Port_in | Netlist.Port_out ->
       (* still force evaluation so cycles are reported deterministically *)
-      ignore (output_arrival c)
+      eval c
   done;
   let critical = max !worst (d.t_clk_q +. d.t_setup) in
   (* Reconstruct the critical path by walking best_pred back. *)

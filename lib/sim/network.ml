@@ -59,12 +59,40 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
     && Array.for_all has_data in_chans.(p)
     && Array.for_all has_room out_chans.(p)
   in
+  (* Active-process worklist: a process (or barrier group) found unable to
+     fire goes inactive and is not rescanned until the occupancy of an
+     adjacent channel changes — sound because [can_fire] depends only on
+     those occupancies and on the monotonically increasing fired count, so
+     with no adjacent change a failed check stays failed. A quiescent
+     pipeline tail thus costs nothing per cycle, instead of a full rescan
+     of every process. Scan order among processes that do fire is the same
+     as before (groups in order, then free processes ascending), so fire
+     counts, deliveries, and cycle counts are unchanged. *)
+  let src_of = Array.map (fun (c : Dataflow.channel) -> c.Dataflow.c_src) chans in
+  let dst_of = Array.map (fun (c : Dataflow.channel) -> c.Dataflow.c_dst) chans in
+  let proc_active = Array.make n_proc true in
+  let group_active = Array.make (Array.length groups) true in
+  let activate p =
+    if p >= 0 then begin
+      let g = group_of.(p) in
+      if g >= 0 then group_active.(g) <- true else proc_active.(p) <- true
+    end
+  in
+  let touch c =
+    activate src_of.(c);
+    activate dst_of.(c)
+  in
   let fire p =
-    Array.iter (fun c -> occupancy.(c) <- occupancy.(c) - 1) in_chans.(p);
+    Array.iter
+      (fun c ->
+        occupancy.(c) <- occupancy.(c) - 1;
+        touch c)
+      in_chans.(p);
     Array.iter
       (fun c ->
         occupancy.(c) <- occupancy.(c) + 1;
-        produced.(c) <- produced.(c) + 1)
+        produced.(c) <- produced.(c) + 1;
+        touch c)
       out_chans.(p);
     fired.(p) <- fired.(p) + 1
   in
@@ -74,32 +102,32 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
   let all_done () = !outputs_done >= n_ext in
   let limit = (tokens * 50) + 1000 in
   let cycle = ref 0 in
-  let fired_this_cycle = Array.make n_proc false in
   while (not (all_done ())) && !cycle < limit do
     (* 1. external sinks drain according to their readiness *)
     Array.iter
       (fun c ->
         if ready ~chan:c ~cycle:!cycle && occupancy.(c) > 0 then begin
           occupancy.(c) <- occupancy.(c) - 1;
+          touch c;
           delivered.(c) <- consumed_out.(c) :: delivered.(c);
           consumed_out.(c) <- consumed_out.(c) + 1;
           if consumed_out.(c) = tokens then incr outputs_done
         end)
       ext_outputs;
-    (* 2. barriered groups fire all-or-nothing; free processes fire alone *)
-    Array.fill fired_this_cycle 0 n_proc false;
-    Array.iter
-      (fun members ->
-        if Array.for_all can_fire members then
-          Array.iter
-            (fun p ->
-              fire p;
-              fired_this_cycle.(p) <- true)
-            members)
+    (* 2. barriered groups fire all-or-nothing; free processes fire alone.
+       Fires earlier in the cycle are visible to later checks in the same
+       cycle, exactly as in the full-scan version. *)
+    Array.iteri
+      (fun g members ->
+        if group_active.(g) then begin
+          if Array.for_all can_fire members then Array.iter fire members
+          else group_active.(g) <- false
+        end)
       groups;
     for p = 0 to n_proc - 1 do
-      if group_of.(p) = -1 && (not fired_this_cycle.(p)) && can_fire p then
-        fire p
+      if group_of.(p) = -1 && proc_active.(p) then begin
+        if can_fire p then fire p else proc_active.(p) <- false
+      end
     done;
     if Hlsb_telemetry.Metrics.enabled () then
       for c = 0 to n_chan - 1 do

@@ -7,52 +7,97 @@ type hist = {
   mutable h_max : float;
 }
 
-type t = {
+(* Each domain records into a private shard, so instrumentation in hot
+   loops never takes a lock and never contends with other domains; shards
+   are merged only when someone reads the registry (snapshot /
+   counter_value / gauge_value).  With a single domain there is exactly one
+   shard and behavior is identical to a plain table. *)
+type shard = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
 }
 
-let create () =
+type t = {
+  sh_lock : Mutex.t;
+  (* (domain id, shard), in shard-creation order; guarded by [sh_lock].
+     The list stays tiny (one entry per domain that ever recorded). *)
+  mutable shards : (int * shard) list;
+}
+
+let new_shard () =
   {
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     hists = Hashtbl.create 16;
   }
 
-(* Domain-local, like [Trace.current]: metrics record only on the domain
-   that installed the registry, so pool worker domains never mutate the
-   hash tables concurrently with the main domain. *)
-let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let create () = { sh_lock = Mutex.create (); shards = [] }
 
-let install t = Domain.DLS.set current (Some t)
-let uninstall () = Domain.DLS.set current None
-let installed () = Domain.DLS.get current
-let enabled () = Domain.DLS.get current <> None
+let locked t f =
+  Mutex.lock t.sh_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sh_lock) f
+
+(* Process-global, unlike [Trace.current]: pool worker domains must see the
+   registry the main domain installed, or every observation made inside a
+   parallel region is silently dropped (cache-hit counts looked wrong in
+   exactly that way before). Reads are merged, so cross-domain visibility
+   is safe. *)
+let current : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set current (Some t)
+let uninstall () = Atomic.set current None
+let installed () = Atomic.get current
+let enabled () = Atomic.get current <> None
 
 let with_registry t f =
-  let prev = Domain.DLS.get current in
-  Domain.DLS.set current (Some t);
-  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
+  let prev = Atomic.get current in
+  Atomic.set current (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f
+
+(* Fast path: one DLS read and a physical-equality check. The slow path
+   (first observation by this domain into this registry) registers a shard
+   under the lock. *)
+let shard_cache : (t * shard) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let get_shard t =
+  match Domain.DLS.get shard_cache with
+  | Some (t', s) when t' == t -> s
+  | _ ->
+    let id = (Domain.self () :> int) in
+    let s =
+      locked t (fun () ->
+        match List.assoc_opt id t.shards with
+        | Some s -> s
+        | None ->
+          let s = new_shard () in
+          t.shards <- t.shards @ [ (id, s) ];
+          s)
+    in
+    Domain.DLS.set shard_cache (Some (t, s));
+    s
 
 let default_buckets =
   [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
 
 let incr ?(by = 1) name =
-  match Domain.DLS.get current with
+  match Atomic.get current with
   | None -> ()
   | Some t -> (
-    match Hashtbl.find_opt t.counters name with
+    let sh = get_shard t in
+    match Hashtbl.find_opt sh.counters name with
     | Some r -> r := !r + by
-    | None -> Hashtbl.add t.counters name (ref by))
+    | None -> Hashtbl.add sh.counters name (ref by))
 
 let set_gauge name v =
-  match Domain.DLS.get current with
+  match Atomic.get current with
   | None -> ()
   | Some t -> (
-    match Hashtbl.find_opt t.gauges name with
+    let sh = get_shard t in
+    match Hashtbl.find_opt sh.gauges name with
     | Some r -> r := v
-    | None -> Hashtbl.add t.gauges name (ref v))
+    | None -> Hashtbl.add sh.gauges name (ref v))
 
 let set_gauge_int name v = set_gauge name (float_of_int v)
 
@@ -78,10 +123,11 @@ let hist_observe h v =
   end
 
 let observe ?buckets name v =
-  match Domain.DLS.get current with
+  match Atomic.get current with
   | None -> ()
   | Some t -> (
-    match Hashtbl.find_opt t.hists name with
+    let sh = get_shard t in
+    match Hashtbl.find_opt sh.hists name with
     | Some h -> hist_observe h v
     | None ->
       let buckets = match buckets with Some b -> b | None -> default_buckets in
@@ -103,18 +149,24 @@ let observe ?buckets name v =
         }
       in
       hist_observe h v;
-      Hashtbl.add t.hists name h)
+      Hashtbl.add sh.hists name h)
 
 let observe_int name v =
-  match Domain.DLS.get current with
+  match Atomic.get current with
   | None -> ()  (* short-circuit before any float boxing *)
   | Some _ -> observe name (float_of_int v)
 
-let counter_value t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+(* ---- merged reads ----
 
-let gauge_value t name =
-  Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+   Counters sum across shards. A gauge present in several shards keeps the
+   value from the earliest-created shard holding it (the main domain
+   installs and records first, so sequential behavior is unchanged; gauges
+   set inside parallel regions are last-writer-wins anyway). Histograms
+   with identical buckets merge counts/sums/extrema; on a bucket mismatch
+   (only possible via explicit per-site [?buckets] disagreement) the
+   earliest shard wins. Reads merge under the shard lock, and every
+   [Pool.map] joins its workers before returning, so a quiescent-point read
+   sees every observation. *)
 
 type hist_snap = {
   hs_buckets : float array;
@@ -124,6 +176,74 @@ type hist_snap = {
   hs_min : float;
   hs_max : float;
 }
+
+let snap_of_hist h =
+  {
+    hs_buckets = Array.copy h.h_buckets;
+    hs_counts = Array.copy h.h_counts;
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_min = h.h_min;
+    hs_max = h.h_max;
+  }
+
+let merge_hist a b =
+  if a.hs_buckets <> b.hs_buckets then a
+  else
+    let nan_min x y = if Float.is_nan x then y else if Float.is_nan y then x else Float.min x y in
+    let nan_max x y = if Float.is_nan x then y else if Float.is_nan y then x else Float.max x y in
+    {
+      hs_buckets = a.hs_buckets;
+      hs_counts = Array.mapi (fun i c -> c + b.hs_counts.(i)) a.hs_counts;
+      hs_count = a.hs_count + b.hs_count;
+      hs_sum = a.hs_sum +. b.hs_sum;
+      hs_min = nan_min a.hs_min b.hs_min;
+      hs_max = nan_max a.hs_max b.hs_max;
+    }
+
+(* Call with [t.sh_lock] held. *)
+let merged t =
+  let counters = Hashtbl.create 16 in
+  let gauges = Hashtbl.create 16 in
+  let hists = Hashtbl.create 16 in
+  List.iter
+    (fun (_, sh) ->
+      Hashtbl.iter
+        (fun k r ->
+          match Hashtbl.find_opt counters k with
+          | Some tot -> Hashtbl.replace counters k (tot + !r)
+          | None -> Hashtbl.add counters k !r)
+        sh.counters;
+      Hashtbl.iter
+        (fun k r ->
+          if not (Hashtbl.mem gauges k) then Hashtbl.add gauges k !r)
+        sh.gauges;
+      Hashtbl.iter
+        (fun k h ->
+          match Hashtbl.find_opt hists k with
+          | Some acc -> Hashtbl.replace hists k (merge_hist acc (snap_of_hist h))
+          | None -> Hashtbl.add hists k (snap_of_hist h))
+        sh.hists)
+    t.shards;
+  (counters, gauges, hists)
+
+let counter_value t name =
+  locked t (fun () ->
+    List.fold_left
+      (fun acc (_, sh) ->
+        match Hashtbl.find_opt sh.counters name with
+        | Some r -> acc + !r
+        | None -> acc)
+      0 t.shards)
+
+let gauge_value t name =
+  locked t (fun () ->
+    List.fold_left
+      (fun acc (_, sh) ->
+        match acc with
+        | Some _ -> acc
+        | None -> Option.map ( ! ) (Hashtbl.find_opt sh.gauges name))
+      None t.shards)
 
 type snapshot = {
   sn_counters : (string * int) list;
@@ -136,19 +256,11 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot t =
+  let counters, gauges, hists = locked t (fun () -> merged t) in
   {
-    sn_counters = sorted_bindings t.counters ( ! );
-    sn_gauges = sorted_bindings t.gauges ( ! );
-    sn_hists =
-      sorted_bindings t.hists (fun h ->
-        {
-          hs_buckets = Array.copy h.h_buckets;
-          hs_counts = Array.copy h.h_counts;
-          hs_count = h.h_count;
-          hs_sum = h.h_sum;
-          hs_min = h.h_min;
-          hs_max = h.h_max;
-        });
+    sn_counters = sorted_bindings counters Fun.id;
+    sn_gauges = sorted_bindings gauges Fun.id;
+    sn_hists = sorted_bindings hists Fun.id;
   }
 
 let diff ~before ~after =

@@ -33,7 +33,15 @@ type t
 
 val create : unit -> t
 
-(** {1 Global installation} *)
+(** {1 Global installation}
+
+    Installation is process-wide: every domain — in particular pool worker
+    domains running inside a parallel region — records into the installed
+    registry. Each domain writes to a private shard (no locks or
+    cross-domain contention on the hot path); shards are merged when the
+    registry is read ({!snapshot}, {!counter_value}, {!gauge_value}).
+    Counters and histograms merge additively; a gauge recorded by several
+    domains keeps the earliest-recording domain's value. *)
 
 val install : t -> unit
 val uninstall : unit -> unit

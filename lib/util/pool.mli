@@ -6,20 +6,37 @@
     explicit [?jobs] argument, {!set_default_jobs}, the [HLSB_JOBS]
     environment variable, then [Domain.recommended_domain_count].
 
+    Worker domains are spawned once, kept parked on a condition variable
+    between batches, and reused by every subsequent [map]; work is claimed
+    in index chunks so contention on the shared cursor is O(jobs), not
+    O(n).
+
     Nested calls (a task that itself calls [map]) run sequentially inside
     the calling worker rather than spawning a second tier of domains, which
     bounds the total domain count at [jobs] regardless of call depth. *)
 
 val env_var : string
 (** ["HLSB_JOBS"] — overrides the default job count when set to an integer
-    >= 1. *)
+    >= 1. A malformed value (non-integer, or < 1) is reported once as a
+    diagnostic on stderr and treated as 1. *)
+
+val parse_jobs : string -> (int, string) result
+(** Parse a job count as accepted via [HLSB_JOBS]: an integer >= 1,
+    surrounding whitespace ignored. The error case carries a
+    human-readable reason. *)
 
 val set_default_jobs : int -> unit
 (** Process-wide default job count (e.g. from a [--jobs] flag). Takes
     precedence over [HLSB_JOBS]. Raises [Invalid_argument] if [n < 1]. *)
 
 val default_jobs : unit -> int
-(** The job count used when [?jobs] is omitted. *)
+(** The job count used when [?jobs] is omitted: the requested default
+    ({!set_default_jobs}, then [HLSB_JOBS], then the core count), capped at
+    [Domain.recommended_domain_count] — OCaml 5 minor collections
+    synchronize every running domain, so oversubscribing domains beyond
+    cores costs stop-the-world latency per GC with nothing to gain. An
+    explicit [?jobs] argument bypasses the cap (tests rely on exercising
+    real multi-domain schedules regardless of the machine). *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with deterministic, index-ordered results. Runs

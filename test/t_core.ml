@@ -173,6 +173,47 @@ let test_fig15_driver_small () =
       (r64.Experiments.f15_opt_mhz > r64.Experiments.f15_orig_mhz)
   | _ -> Alcotest.fail "two rows"
 
+(* Bit-level projection of a compile result: the headline numbers plus the
+   full STA arrival array, so any divergence in the numeric pipeline — not
+   just in the summary — fails the comparison. *)
+let result_fingerprint (r : Flow.result) =
+  ( r.Flow.fr_fmax_mhz,
+    r.Flow.fr_critical_ns,
+    r.Flow.fr_lut_pct,
+    r.Flow.fr_ff_pct,
+    r.Flow.fr_bram_pct,
+    r.Flow.fr_dsp_pct,
+    r.Flow.fr_timing.Hlsb_physical.Timing.arrivals )
+
+let prop_table1_jobs_deterministic =
+  (* The PR-4 acceptance bar for the pool: fanning the Table-1 benchmarks
+     across real worker domains must be observably identical to running
+     them sequentially, down to every arrival time. [~jobs] is explicit so
+     the multi-domain schedule runs even on a single-core machine. *)
+  QCheck.Test.make ~count:3 ~name:"table1 rows identical at jobs=1 and jobs=4"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let names =
+        List.map
+          (fun (s : Hlsb_designs.Spec.t) -> s.Hlsb_designs.Spec.sp_name)
+          Hlsb_designs.Suite.all
+      in
+      let len = List.length names in
+      let pick i = List.nth names ((seed + i) mod len) in
+      let subset = List.sort_uniq compare [ pick 0; pick 3 ] in
+      let run jobs =
+        List.map
+          (fun (r : Experiments.table1_row) ->
+            ( r.Experiments.t1_name,
+              result_fingerprint r.Experiments.t1_orig,
+              result_fingerprint r.Experiments.t1_opt ))
+          (Experiments.run_table1 ~subset ~jobs ())
+      in
+      (* [compare], not [=]: arrival arrays carry nan for cells that are
+         never reachable timing endpoints, and IEEE nan <> nan would fail
+         the comparison even on bit-identical arrays *)
+      compare (run 1) (run 4) = 0)
+
 let suite =
   [
     Alcotest.test_case "compile small kernel" `Quick test_compile_small_kernel;
@@ -188,3 +229,4 @@ let suite =
     Alcotest.test_case "optimization improves all" `Slow
       test_optimization_improves_every_benchmark;
   ]
+  @ [ QCheck_alcotest.to_alcotest prop_table1_jobs_deterministic ]

@@ -9,6 +9,7 @@ module Cal_cache = Hlsb_delay.Cal_cache
 module Device = Hlsb_device.Device
 module Metrics = Hlsb_telemetry.Metrics
 module Json = Hlsb_telemetry.Json
+module Pool = Hlsb_util.Pool
 
 let dev = Device.ultrascale_plus
 let i32 = Dtype.Int 32
@@ -250,6 +251,32 @@ let test_cache_grid_invalidation () =
            ~unit_grid:Calibrate.unit_grid dev
         = None))
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_cache_bytes_order_independent () =
+  (* The cache file serializes op curves in sorted key order, so its exact
+     bytes are independent of the order — and the number of domains — the
+     curves were built with. Warm one directory sequentially and another
+     with the ops reversed and fanned out across a real multi-domain pool,
+     and require identical files. *)
+  let ops = [ (Op.Add, i32); (Op.Sub, i32); (Op.Mul, i32) ] in
+  let warm_in dir order ~jobs =
+    let cal = Calibrate.create ~cache_dir:dir dev in
+    Pool.iter ~jobs
+      (fun (op, dt) -> ignore (Calibrate.op_delay cal op dt ~factor:4))
+      (Array.of_list order);
+    read_file (Cal_cache.file_path ~dir dev)
+  in
+  with_temp_dir (fun d1 ->
+      with_temp_dir (fun d2 ->
+          let seq = warm_in d1 ops ~jobs:1 in
+          let par = warm_in d2 (List.rev ops) ~jobs:4 in
+          Alcotest.(check string) "cache files byte-identical" seq par))
+
 let test_jobs_deterministic () =
   (* the acceptance bar: curves bit-identical at any job count *)
   let seq = Characterize.arith_curve ~jobs:1 dev Op.Add i32 ~factors:Calibrate.factor_grid in
@@ -290,4 +317,6 @@ let suite =
       test_cache_schema_invalidation;
     Alcotest.test_case "cache grid invalidation" `Quick test_cache_grid_invalidation;
     Alcotest.test_case "jobs deterministic" `Quick test_jobs_deterministic;
+    Alcotest.test_case "cache bytes order-independent" `Quick
+      test_cache_bytes_order_independent;
   ]

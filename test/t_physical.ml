@@ -7,6 +7,7 @@ module Structs = Hlsb_netlist.Structs
 module Placement = Hlsb_physical.Placement
 module Timing = Hlsb_physical.Timing
 module Device = Hlsb_device.Device
+module Rng = Hlsb_util.Rng
 
 let dev = Device.ultrascale_plus
 
@@ -103,6 +104,99 @@ let test_register_chain_waypoints () =
   Alcotest.(check bool) "waypoints split the route" true
     (!max_hop < total /. 2.)
 
+(* The wire-length queries were flattened to iterate sink arrays directly;
+   these pin them, bit for bit, to the straightforward list-based
+   definitions they replaced (bbox over all pins; spread = mean cell radius
+   over driver-then-sinks; star = farthest sink + spread). *)
+
+let ref_pins nl nid =
+  let net = Netlist.net nl nid in
+  net.Netlist.n_driver :: Array.to_list net.Netlist.n_sinks
+
+let ref_bbox pl nl nid =
+  let pts = List.map (Placement.position pl) (ref_pins nl nid) in
+  let xs = List.map fst pts and ys = List.map snd pts in
+  ( List.fold_left min infinity xs,
+    List.fold_left min infinity ys,
+    List.fold_left max neg_infinity xs,
+    List.fold_left max neg_infinity ys )
+
+let ref_spread pl nl nid =
+  let pins = ref_pins nl nid in
+  List.fold_left
+    (fun acc c -> acc +. sqrt (float_of_int (Placement.footprint_slices pl c)))
+    0. pins
+  /. float_of_int (List.length pins)
+
+let ref_hpwl pl nl nid =
+  let net = Netlist.net nl nid in
+  if Array.length net.Netlist.n_sinks = 0 then 0.
+  else begin
+    let xmin, ymin, xmax, ymax = ref_bbox pl nl nid in
+    xmax -. xmin +. (ymax -. ymin) +. ref_spread pl nl nid
+  end
+
+let ref_star pl nl nid =
+  let net = Netlist.net nl nid in
+  if Array.length net.Netlist.n_sinks = 0 then 0.
+  else begin
+    let dx, dy = Placement.position pl net.Netlist.n_driver in
+    let far =
+      Array.fold_left
+        (fun acc s ->
+          let x, y = Placement.position pl s in
+          max acc (abs_float (x -. dx) +. abs_float (y -. dy)))
+        0. net.Netlist.n_sinks
+    in
+    far +. ref_spread pl nl nid
+  end
+
+let test_wirelength_matches_list_reference () =
+  let rng = Rng.create 90125 in
+  let nl = Netlist.create ~name:"wl" in
+  let cells =
+    Array.init 160 (fun i ->
+        if Rng.int rng 2 = 0 then reg nl (Printf.sprintf "r%d" i)
+        else
+          Netlist.add_cell nl ~name:(Printf.sprintf "c%d" i) ~kind:Netlist.Comb
+            ~delay:0.1
+            ~res:
+              {
+                Netlist.zero_res with
+                Netlist.r_luts = 1 + Rng.int rng 400;
+              })
+  in
+  let nets = ref [] in
+  for i = 0 to 119 do
+    let driver = cells.(Rng.int rng 160) in
+    let sinks =
+      List.init (1 + Rng.int rng 20) (fun _ -> cells.(Rng.int rng 160))
+      |> List.sort_uniq compare
+      |> List.filter (fun c -> c <> driver)
+    in
+    if sinks <> [] then
+      nets :=
+        Netlist.add_net nl ~name:(Printf.sprintf "n%d" i) ~driver ~sinks
+          ~width:8 ()
+        :: !nets
+  done;
+  let pl = Placement.place dev nl in
+  List.iter
+    (fun nid ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "hpwl net %d" nid)
+        (ref_hpwl pl nl nid) (Placement.hpwl pl nid);
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "star net %d" nid)
+        (ref_star pl nl nid)
+        (Placement.star_length pl nid);
+      let rx0, ry0, rx1, ry1 = ref_bbox pl nl nid in
+      let x0, y0, x1, y1 = Placement.bbox pl nid in
+      Alcotest.(check (list (float 0.)))
+        (Printf.sprintf "bbox net %d" nid)
+        [ rx0; ry0; rx1; ry1 ] [ x0; y0; x1; y1 ])
+    !nets
+
 (* ---- Timing ---- *)
 
 let simple_pipe () =
@@ -191,6 +285,45 @@ let test_sta_cycle_fails () =
     (try ignore (Timing.run dev nl); false
      with Failure _ -> true)
 
+let test_sta_deep_chain () =
+  (* A pipeline tens of thousands of cells deep is a legitimate netlist;
+     the recursive DFS that [analyze] replaced overflowed the OCaml stack
+     on exactly this shape. The critical path must come out as the plain
+     arithmetic sum of the chain's net and cell delays, computed here by a
+     linear walk. *)
+  let k = 50_000 in
+  let nl = Netlist.create ~name:"deep" in
+  let r1 = reg ~w:1 nl "r1" in
+  let cells = Array.make k 0 in
+  let nets = Array.make (k + 1) 0 in
+  let prev = ref r1 in
+  for i = 0 to k - 1 do
+    let c =
+      Netlist.add_cell nl ~name:(Printf.sprintf "c%d" i) ~kind:Netlist.Comb
+        ~delay:0.01 ~res:{ Netlist.zero_res with Netlist.r_luts = 1 }
+    in
+    cells.(i) <- c;
+    nets.(i) <-
+      Netlist.add_net nl ~name:(Printf.sprintf "n%d" i) ~driver:!prev
+        ~sinks:[ c ] ~width:1 ();
+    prev := c
+  done;
+  let r2 = reg ~w:1 nl "r2" in
+  nets.(k) <-
+    Netlist.add_net nl ~name:"end" ~driver:!prev ~sinks:[ r2 ] ~width:1 ();
+  let pl = Placement.place dev nl in
+  let r = Timing.analyze ~jitter:0. ~seed:0 dev nl pl in
+  let nd = Timing.net_delay dev nl pl ~jitter:0. ~seed:0 in
+  let arr = ref (dev.Device.t_clk_q +. (Netlist.cell nl r1).Netlist.c_delay) in
+  for i = 0 to k - 1 do
+    arr := !arr +. nd nets.(i) +. (Netlist.cell nl cells.(i)).Netlist.c_delay
+  done;
+  let expected = !arr +. nd nets.(k) +. dev.Device.t_setup in
+  Alcotest.(check (float 1e-9)) "critical = chain sum" expected
+    r.Timing.critical_ns;
+  Alcotest.(check int) "path spans the whole chain" (k + 2)
+    (List.length r.Timing.path)
+
 let test_sta_path_realizable () =
   (* re-walking the reported critical path reproduces the arrival times *)
   let nl = simple_pipe () in
@@ -257,6 +390,9 @@ let suite =
     Alcotest.test_case "footprint scales" `Quick test_footprint_scales;
     Alcotest.test_case "hpwl grows with fanout" `Quick test_hpwl_grows_with_fanout;
     Alcotest.test_case "register chain waypoints" `Quick test_register_chain_waypoints;
+    Alcotest.test_case "wirelength matches list reference" `Quick
+      test_wirelength_matches_list_reference;
+    Alcotest.test_case "sta deep chain" `Slow test_sta_deep_chain;
     Alcotest.test_case "sta simple pipe" `Quick test_sta_simple;
     Alcotest.test_case "sta empty netlist" `Quick test_sta_empty_netlist;
     Alcotest.test_case "sta deterministic" `Quick test_sta_deterministic;

@@ -244,6 +244,39 @@ let test_network_deadlock_guard () =
   let r = Network.run df ~tokens:5 ~ready:(fun ~chan:_ ~cycle:_ -> true) in
   Alcotest.(check bool) "deadlock detected" true r.Network.deadlocked
 
+let test_long_freeze_resumes () =
+  (* Network.run keeps idle processes off a worklist between occupancy
+     changes; a long downstream freeze followed by a resume is the
+     adversarial case — a lost wakeup would surface here as a deadlock flag
+     or a truncated stream. *)
+  let df, oa, ob = two_flows () in
+  let ready ~chan:_ ~cycle = cycle < 5 || cycle > 150 in
+  let r = Network.run df ~tokens:25 ~ready in
+  Alcotest.(check bool) "completes after the freeze" false r.Network.deadlocked;
+  List.iter
+    (fun c ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "stream %d intact" c)
+        (List.init 25 Fun.id)
+        (List.assoc c r.Network.delivered))
+    [ oa; ob ]
+
+let prop_sparse_readiness_completes =
+  QCheck.Test.make ~count:60
+    ~name:"network completes under sparse bursty readiness"
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create seed in
+      let df, oa, ob = two_flows () in
+      (* mostly-stalled sinks: long inactive stretches exercise the
+         deactivation/reactivation path on every channel *)
+      let pattern = Array.init 512 (fun _ -> Rng.int rng 8 = 0) in
+      let ready ~chan ~cycle = pattern.(((chan * 7) + cycle) mod 512) in
+      let r = Network.run df ~tokens:8 ~ready in
+      (not r.Network.deadlocked)
+      && List.assoc oa r.Network.delivered = List.init 8 Fun.id
+      && List.assoc ob r.Network.delivered = List.init 8 Fun.id)
+
 let prop_pruning_stream_equivalence =
   QCheck.Test.make ~count:80
     ~name:"sync pruning is stream-preserving on random two-flow networks"
@@ -281,10 +314,12 @@ let suite =
     Alcotest.test_case "pruning preserves streams" `Quick
       test_pruning_preserves_streams;
     Alcotest.test_case "deadlock guard" `Quick test_network_deadlock_guard;
+    Alcotest.test_case "long freeze resumes" `Quick test_long_freeze_resumes;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
         prop_skid_equals_stall;
         prop_skid_occupancy_bounded;
         prop_pruning_stream_equivalence;
+        prop_sparse_readiness_completes;
       ]

@@ -316,6 +316,21 @@ let test_sim_occupancy_series () =
       h.Metrics.hs_count;
     Alcotest.(check bool) "max within skid depth" true (h.Metrics.hs_max <= 5.)
 
+let test_metrics_merge_across_domains () =
+  (* Each domain writes to its own shard; the registry only merges at read
+     time. Increments from pool worker domains must sum with the caller's. *)
+  let m = Metrics.create () in
+  Metrics.with_registry m (fun () ->
+    Hlsb_util.Pool.iter ~jobs:4
+      (fun i ->
+        Metrics.incr "t.shard_counter";
+        Metrics.set_gauge "t.shard_gauge" (float_of_int i))
+      (Array.init 100 (fun i -> i)));
+  Alcotest.(check int) "counter sums across shards" 100
+    (Metrics.counter_value m "t.shard_counter");
+  Alcotest.(check bool) "gauge visible from some shard" true
+    (Metrics.gauge_value m "t.shard_gauge" <> None)
+
 let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -332,5 +347,7 @@ let suite =
     Alcotest.test_case "instrumentation populates" `Quick
       test_instrumentation_populates;
     Alcotest.test_case "sim occupancy series" `Quick test_sim_occupancy_series;
+    Alcotest.test_case "metrics merge across domains" `Quick
+      test_metrics_merge_across_domains;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_telemetry_transparent ]

@@ -320,6 +320,56 @@ let test_pool_bad_jobs () =
       Pool.set_default_jobs 0);
   Alcotest.(check bool) "default >= 1" true (Pool.default_jobs () >= 1)
 
+let test_pool_parse_jobs () =
+  (match Pool.parse_jobs "4" with
+  | Ok 4 -> ()
+  | _ -> Alcotest.fail "\"4\" should parse as 4");
+  (match Pool.parse_jobs " \t8 " with
+  | Ok 8 -> ()
+  | _ -> Alcotest.fail "surrounding whitespace should be ignored");
+  List.iter
+    (fun s ->
+      match Pool.parse_jobs s with
+      | Error reason ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error has a reason" s)
+          true
+          (String.length reason > 0)
+      | Ok n -> Alcotest.failf "%S accepted as %d" s n)
+    [ "abc"; "0"; "-3"; ""; "1.5"; "2 jobs" ]
+
+let test_pool_env_malformed_falls_back () =
+  (* A malformed HLSB_JOBS is ambient environment, not an explicit flag: it
+     must degrade to 1 job (with a warning), never crash or guess. The
+     variable cannot be portably unset, so restore a benign "1". *)
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv Pool.env_var "1")
+    (fun () ->
+      List.iter
+        (fun bad ->
+          Unix.putenv Pool.env_var bad;
+          Alcotest.(check int)
+            (Printf.sprintf "%S falls back to 1 job" bad)
+            1 (Pool.default_jobs ()))
+        [ "abc"; "0"; "-2"; "" ];
+      (* a well-formed value is honored (capped at the core count) *)
+      Unix.putenv Pool.env_var "2";
+      let d = Pool.default_jobs () in
+      Alcotest.(check bool) "valid value in range" true (d >= 1 && d <= 2))
+
+let test_pool_reuses_workers_across_batches () =
+  (* many small batches through the persistent pool: every batch must see
+     the same results as Array.map even though the worker domains are
+     parked and reused rather than respawned *)
+  for batch = 1 to 40 do
+    let arr = Array.init (batch * 3) (fun i -> i) in
+    let f x = (x * batch) + 1 in
+    Alcotest.(check (array int))
+      (Printf.sprintf "batch %d" batch)
+      (Array.map f arr)
+      (Pool.map ~jobs:4 f arr)
+  done
+
 let prop_pool_matches_map =
   QCheck.Test.make ~count:50 ~name:"pool map matches Array.map at any job count"
     QCheck.(pair (list (int_bound 10000)) (int_range 1 8))
@@ -367,6 +417,10 @@ let suite =
     Alcotest.test_case "pool exception" `Quick test_pool_exception;
     Alcotest.test_case "pool nested" `Quick test_pool_nested;
     Alcotest.test_case "pool bad jobs" `Quick test_pool_bad_jobs;
+    Alcotest.test_case "pool parse jobs" `Quick test_pool_parse_jobs;
+    Alcotest.test_case "pool malformed env" `Quick test_pool_env_malformed_falls_back;
+    Alcotest.test_case "pool reuses workers" `Quick
+      test_pool_reuses_workers_across_batches;
   ]
   @ qsuite
       [
