@@ -562,6 +562,110 @@ let cmd_calibrate =
     Term.(
       const run $ jobs_term $ dir_arg $ warm_arg $ clear_arg $ device_arg)
 
+let cmd_fuzz =
+  let module Campaign = Hlsb_fuzz.Campaign in
+  let module Oracle = Hlsb_fuzz.Oracle in
+  let module Gen = Hlsb_fuzz.Gen in
+  let parse_oracles = function
+    | None -> Oracle.all
+    | Some spec ->
+      String.split_on_char ',' spec
+      |> List.filter_map (fun s ->
+           let s = String.trim s in
+           if s = "" then None else Some s)
+      |> List.map (fun s ->
+           match Oracle.of_string s with
+           | Some o -> o
+           | None ->
+             Printf.eprintf "unknown oracle %S (%s)\n" s
+               (String.concat " | " (List.map Oracle.to_string Oracle.all));
+             exit 1)
+  in
+  let replay path =
+    match Campaign.replay_file path with
+    | Error msg ->
+      Printf.eprintf "cannot replay %s: %s\n" path msg;
+      exit 1
+    | Ok (fl, verdict) -> (
+      Printf.printf "replaying %s\n  oracle: %s\n  case:   %s\n" path
+        (Oracle.to_string fl.Campaign.fl_oracle)
+        (Gen.to_string fl.Campaign.fl_case);
+      match verdict with
+      | Oracle.Fail msg ->
+        Printf.printf "still FAILS: %s\n" msg;
+        exit 1
+      | Oracle.Pass ->
+        Printf.printf "PASSES: the recorded bug no longer reproduces\n";
+        (* recorded message helps relate the fix to the original failure *)
+        Printf.printf "  (was: %s)\n" fl.Campaign.fl_message)
+  in
+  let campaign seed runs oracles out =
+    let registry = Metrics.create () in
+    let report =
+      Metrics.with_registry registry (fun () ->
+        Campaign.run ~oracles ~log:print_endline ~seed ~runs ())
+    in
+    print_string (Campaign.summary report);
+    let snap = Metrics.snapshot registry in
+    List.iter
+      (fun (name, v) ->
+        if String.starts_with ~prefix:"fuzz." name then
+          Printf.printf "  %-24s %d\n" name v)
+      snap.Metrics.sn_counters;
+    if report.Campaign.rp_failures <> [] then begin
+      let paths = Campaign.write_repros ~dir:out report in
+      List.iter (Printf.printf "wrote reproducer %s\n") paths;
+      Printf.printf "replay with: hlsbc fuzz --replay %s\n" (List.hd paths);
+      exit 1
+    end
+  in
+  let run () seed runs oracle_spec out replay_path =
+    match replay_path with
+    | Some path -> replay path
+    | None -> campaign seed runs (parse_oracles oracle_spec) out
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (deterministic).")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let oracle_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "oracle" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated oracle subset: stall-skid | network | cache | \
+             jobs (default: all).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "fuzz"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for minimized reproducer files.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE.json"
+          ~doc:"Re-run the oracle of a recorded reproducer instead of fuzzing.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random designs checked by cross-layer oracles \
+          (stall vs skid, network conservation, compile cache, job-count \
+          invariance), with greedy shrinking of failures")
+    Term.(
+      const run $ jobs_term $ seed_arg $ runs_arg $ oracle_arg $ out_arg
+      $ replay_arg)
+
 let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
 let cmd_table1 =
@@ -623,6 +727,7 @@ let () =
             cmd_schedule;
             cmd_cc;
             cmd_emit;
+            cmd_fuzz;
             cmd_table1;
             cmd_table2;
             cmd_table3;

@@ -1,0 +1,60 @@
+(** Fuzzing campaigns: drive the generators against the oracles, shrink
+    every failure, and read/write replayable reproducer files.
+
+    A campaign is deterministic in its [seed]: run [i] derives an
+    independent RNG from the campaign seed, generates a case of the
+    shape its (round-robin-selected) oracle consumes, and checks it.
+    Failures are minimized with {!Shrink.minimize} before being
+    reported.
+
+    Telemetry (no-ops unless a [Metrics] registry is installed):
+    [fuzz.runs], [fuzz.failures], [fuzz.shrink_steps], and per-oracle
+    [fuzz.runs.<oracle>]. *)
+
+type failure = {
+  fl_oracle : Oracle.name;
+  fl_seed : int;  (** campaign seed *)
+  fl_index : int;  (** run index within the campaign *)
+  fl_original : Gen.t;  (** the case as generated *)
+  fl_case : Gen.t;  (** the minimized case *)
+  fl_message : string;  (** the minimized case's failure message *)
+  fl_shrink_steps : int;
+}
+
+type report = {
+  rp_seed : int;
+  rp_runs : int;
+  rp_oracles : Oracle.name list;
+  rp_counts : (Oracle.name * int) list;  (** runs per oracle *)
+  rp_failures : failure list;  (** in discovery order *)
+}
+
+val run :
+  ?oracles:Oracle.name list ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  report
+(** [oracles] defaults to {!Oracle.all}; [log] (default silent) receives
+    a line per discovered failure as the campaign progresses. Raises
+    [Invalid_argument] if [runs < 1] or [oracles] is empty. *)
+
+val summary : report -> string
+(** Human-readable campaign summary (runs per oracle, failures). *)
+
+(** {1 Reproducers} *)
+
+val failure_to_json : failure -> Hlsb_telemetry.Json.t
+val failure_of_json : Hlsb_telemetry.Json.t -> (failure, string) result
+
+val write_repros : dir:string -> report -> string list
+(** Write one reproducer file per failure into [dir] (created if
+    missing): the first failure of campaign seed S lands in
+    [repro-S.json], later ones in [repro-S-<index>.json]. Returns the
+    paths written. *)
+
+val replay_file : string -> (failure * Oracle.verdict, string) result
+(** Parse a reproducer file and re-run its oracle on the minimized
+    case. [Ok (failure, Pass)] means the recorded bug no longer
+    reproduces. *)

@@ -1,0 +1,96 @@
+(** Seeded random generation of well-formed fuzz cases.
+
+    A case is a small, JSON-serializable description of one randomized
+    scenario for the differential oracles ({!Oracle}): a pipeline shape
+    for [Sim.Pipeline], a dataflow process network for [Sim.Network], or
+    a kernel DAG for the compile pipeline. Cases carry generation
+    parameters (sizes + seeds), and every builder is deterministic in
+    its case — so a reproducer file need only store the case, and
+    replaying it re-creates the exact failing design.
+
+    Generators only emit {e legal} scenarios (the contract every oracle
+    assumes): ready patterns are guaranteed live (at least one ready
+    cycle in every four), networks are DAG-shaped chains whose sync
+    groups only span independent processes at one chain position (a
+    barrier over dependent processes would genuinely deadlock), and
+    kernel DAGs pass [Dag.validate]. {!valid} re-checks those
+    invariants; the shrinker filters its candidates through it. *)
+
+module Rng = Hlsb_util.Rng
+
+type gate =
+  | Empty  (** §4.3's literal stop-while-non-empty read gate *)
+  | Credit  (** watermark/credit flow control *)
+
+type pipe_case = {
+  pc_stages : int;  (** pipeline depth N, >= 1 *)
+  pc_ctrl_delay : int;  (** registers on the back-pressure path, >= 0 *)
+  pc_gate : gate;
+  pc_n : int;  (** input tokens, >= 1 *)
+  pc_slack : int;  (** extra skid depth beyond the provisioned bound, >= 0 *)
+  pc_ready_seed : int;
+  pc_ready_duty : int;  (** 1..4: downstream ready >= duty/4 of cycles *)
+}
+
+type net_case = {
+  nc_chains : int list;  (** independent chains, by process count (>= 1) *)
+  nc_depth_seed : int;  (** derives per-channel FIFO depths in 1..4 *)
+  nc_groups : (int * int list) list;
+      (** sync groups as (chain position, >= 2 distinct chain indices);
+          positions are distinct across groups and within every member
+          chain's length, so barriers never span dependent processes *)
+  nc_tokens : int;  (** tokens each external output must deliver, >= 1 *)
+  nc_ready_seed : int;
+  nc_ready_duty : int;
+}
+
+type kern_case = {
+  kc_seed : int;  (** DAG-shape seed; the builder is deterministic in it *)
+  kc_ops : int;  (** datapath operation count, >= 1 *)
+  kc_width : int;  (** operand width: 8, 16 or 32 *)
+  kc_recipe : int;  (** index into {!recipes} *)
+}
+
+type t =
+  | Pipe of pipe_case
+  | Net of net_case
+  | Kern of kern_case
+
+type kind =
+  | Kpipe
+  | Knet
+  | Kkern
+
+val kind_of : t -> kind
+val generate : kind -> Rng.t -> t
+
+val valid : t -> bool
+(** Structural legality per the generator contract above. *)
+
+(** {1 Deterministic builders} *)
+
+val ready_fn : seed:int -> duty:int -> int -> bool
+(** Downstream readiness pattern: pseudo-random at the given duty, with a
+    liveness floor of one guaranteed-ready cycle in every four. *)
+
+val net_ready_fn : seed:int -> duty:int -> chan:int -> cycle:int -> bool
+(** Per-channel sink readiness with the same liveness floor. *)
+
+val build_net : net_case -> Hlsb_ir.Dataflow.t
+(** Chains of processes ([ext_in -> p0 -> ... -> ext_out]) plus the
+    case's sync groups. The result passes [Dataflow.problems]. *)
+
+val build_kernel : kern_case -> Hlsb_ir.Kernel.t
+(** Random op DAG between input and output FIFOs; passes
+    [Dag.validate] (enforced by [Kernel.create]). *)
+
+val recipes : Hlsb_ctrl.Style.recipe array
+(** The four recipe corners ([original], [optimized], sched-only,
+    ctrl-only) that {!kern_case.kc_recipe} indexes. *)
+
+(** {1 Serialization} *)
+
+val to_json : t -> Hlsb_telemetry.Json.t
+val of_json : Hlsb_telemetry.Json.t -> (t, string) result
+val to_string : t -> string
+(** Compact one-line rendering for failure messages. *)

@@ -1,0 +1,271 @@
+module Pipeline = Hlsb_sim.Pipeline
+module Network = Hlsb_sim.Network
+module Skid = Hlsb_ctrl.Skid
+module Pool = Hlsb_util.Pool
+module Json = Hlsb_telemetry.Json
+module Device = Hlsb_device.Device
+
+type verdict =
+  | Pass
+  | Fail of string
+
+type name =
+  | Stall_skid
+  | Network
+  | Cache
+  | Jobs
+
+let all = [ Stall_skid; Network; Cache; Jobs ]
+
+let to_string = function
+  | Stall_skid -> "stall-skid"
+  | Network -> "network"
+  | Cache -> "cache"
+  | Jobs -> "jobs"
+
+let of_string = function
+  | "stall-skid" -> Some Stall_skid
+  | "network" -> Some Network
+  | "cache" -> Some Cache
+  | "jobs" -> Some Jobs
+  | _ -> None
+
+let describe = function
+  | Stall_skid ->
+    "stall control == skid control at Skid.required_depth (§4.3), with \
+     truthful occupancy stats"
+  | Network ->
+    "Network.run completes, conserves tokens, and agrees with the \
+     sync:false reference (§4.2)"
+  | Cache -> "Core.Pipeline cached sessions byte-match fresh compiles"
+  | Jobs -> "compile results are invariant under the Pool job count"
+
+let kind = function
+  | Stall_skid -> Gen.Kpipe
+  | Network -> Gen.Knet
+  | Cache | Jobs -> Gen.Kkern
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+let show_ints l =
+  let l = if List.length l > 12 then List.filteri (fun i _ -> i < 12) l else l in
+  "[" ^ String.concat ";" (List.map string_of_int l) ^ ";...]"
+
+(* ---------------- stall vs skid (§4.3) ---------------- *)
+
+let check_pipe (c : Gen.pipe_case) =
+  let ready = Gen.ready_fn ~seed:c.Gen.pc_ready_seed ~duty:c.Gen.pc_ready_duty in
+  let inputs = List.init c.Gen.pc_n Fun.id in
+  let f x = (x * 7) + 1 in
+  let expected = List.map f inputs in
+  let stall =
+    Pipeline.run_stall ~stages:c.Gen.pc_stages ~inputs ~ready ~f
+  in
+  if stall.Pipeline.outputs <> expected then
+    failf "stall control lost or reordered tokens: delivered %d of %d (%s)"
+      (List.length stall.Pipeline.outputs)
+      c.Gen.pc_n
+      (show_ints stall.Pipeline.outputs)
+  else if stall.Pipeline.overflow then
+    Fail "stall control reported an output-FIFO overflow"
+  else if stall.Pipeline.max_occupancy < 1 then
+    failf
+      "stall occupancy telemetry reads always-empty (max_occupancy %d) \
+       despite %d delivered tokens"
+      stall.Pipeline.max_occupancy (List.length stall.Pipeline.outputs)
+  else if stall.Pipeline.max_occupancy > 2 then
+    failf "stall max_occupancy %d exceeds its depth-2 output FIFO"
+      stall.Pipeline.max_occupancy
+  else begin
+    let required =
+      Skid.required_depth ~pipeline_depth:c.Gen.pc_stages
+        ~ctrl_stages:c.Gen.pc_ctrl_delay ()
+    in
+    (* Gate_empty is safe at exactly the paper's bound; the credit gate
+       matches stall throughput from twice that depth (see Pipeline.gate). *)
+    let gate, depth =
+      match c.Gen.pc_gate with
+      | Gen.Empty -> (Pipeline.Gate_empty, required + c.Gen.pc_slack)
+      | Gen.Credit -> (Pipeline.Gate_credit, (2 * required) + c.Gen.pc_slack)
+    in
+    let skid =
+      Pipeline.run_skid ~stages:c.Gen.pc_stages ~skid_depth:depth
+        ~ctrl_delay:c.Gen.pc_ctrl_delay ~gate ~inputs ~ready ~f
+    in
+    if skid.Pipeline.outputs <> stall.Pipeline.outputs then
+      failf "skid delivery diverged from stall: %s vs %s"
+        (show_ints skid.Pipeline.outputs)
+        (show_ints stall.Pipeline.outputs)
+    else if skid.Pipeline.overflow then
+      failf "skid overflowed at provisioned depth %d (required %d)" depth
+        required
+    else if skid.Pipeline.max_occupancy > depth then
+      failf "skid max_occupancy %d exceeds its depth %d"
+        skid.Pipeline.max_occupancy depth
+    else
+      match c.Gen.pc_gate with
+      | Gen.Credit
+        when abs (stall.Pipeline.cycles - skid.Pipeline.cycles)
+             > (2 * (c.Gen.pc_stages + c.Gen.pc_ctrl_delay)) + 8 ->
+        failf "credit-gated skid throughput diverged: %d vs %d cycles"
+          skid.Pipeline.cycles stall.Pipeline.cycles
+      | _ -> Pass
+  end
+
+(* ---------------- network conservation + sync pruning (§4.2) -------- *)
+
+let check_net (c : Gen.net_case) =
+  let df = Gen.build_net c in
+  let ready =
+    Gen.net_ready_fn ~seed:c.Gen.nc_ready_seed ~duty:c.Gen.nc_ready_duty
+  in
+  let tokens = c.Gen.nc_tokens in
+  let r = Network.run df ~tokens ~ready in
+  let n_chan = Hlsb_ir.Dataflow.n_channels df in
+  let conservation (r : Network.result) label =
+    let bad = ref None in
+    for ch = 0 to n_chan - 1 do
+      if
+        !bad = None
+        && r.Network.produced.(ch) - r.Network.consumed.(ch)
+           <> r.Network.occupancy.(ch)
+      then bad := Some ch
+    done;
+    match !bad with
+    | Some ch ->
+      Some
+        (Printf.sprintf
+           "%s: channel %d violates conservation: produced %d - consumed %d \
+            <> occupancy %d"
+           label ch r.Network.produced.(ch) r.Network.consumed.(ch)
+           r.Network.occupancy.(ch))
+    | None -> None
+  in
+  let expected_stream = List.init tokens Fun.id in
+  if r.Network.status <> Network.Completed then
+    failf "barriered run did not complete: %s after %d cycles"
+      (Network.status_label r.Network.status)
+      r.Network.cycles
+  else
+    match conservation r "barriered run" with
+    | Some msg -> Fail msg
+    | None -> (
+      match
+        List.find_opt
+          (fun (_, stream) -> stream <> expected_stream)
+          r.Network.delivered
+      with
+      | Some (ch, stream) ->
+        failf "output channel %d delivered %s, expected 0..%d" ch
+          (show_ints stream) (tokens - 1)
+      | None ->
+        if Array.exists (fun f -> f <> tokens) r.Network.fired then
+          failf "a process fired %s times, expected %d for all"
+            (show_ints (Array.to_list r.Network.fired))
+            tokens
+        else begin
+          let r0 = Network.run ~sync:false df ~tokens ~ready in
+          if r0.Network.status <> Network.Completed then
+            failf "sync:false reference did not complete: %s"
+              (Network.status_label r0.Network.status)
+          else if r0.Network.delivered <> r.Network.delivered then
+            Fail "sync:false reference delivered different streams"
+          else if r0.Network.cycles > r.Network.cycles then
+            failf
+              "decoupled run was slower than the barriered one: %d vs %d \
+               cycles"
+              r0.Network.cycles r.Network.cycles
+          else if
+            c.Gen.nc_groups = []
+            && (r0.Network.cycles, r0.Network.fired, r0.Network.occupancy)
+               <> (r.Network.cycles, r.Network.fired, r.Network.occupancy)
+          then
+            Fail
+              "sync-free graph: sync:true and sync:false runs are not \
+               identical"
+          else Pass
+        end)
+
+(* ---------------- compile-layer oracles ---------------- *)
+
+let device = Device.ultrascale_plus
+
+let compile_json kernel recipe =
+  let session = Core.Pipeline.of_kernel ~device kernel in
+  match Core.Pipeline.run session ~recipe with
+  | Ok r -> Ok (Json.to_string (Core.Pipeline.result_to_json r))
+  | Error d -> Error (Hlsb_util.Diag.to_string d)
+
+let check_cache (c : Gen.kern_case) =
+  let recipe = Gen.recipes.(c.Gen.kc_recipe) in
+  let kernel = Gen.build_kernel c in
+  let session = Core.Pipeline.of_kernel ~device kernel in
+  let run label =
+    match Core.Pipeline.run session ~recipe with
+    | Ok r -> Ok (Json.to_string (Core.Pipeline.result_to_json r))
+    | Error d -> Error (label ^ ": " ^ Hlsb_util.Diag.to_string d)
+  in
+  match run "first compile" with
+  | Error msg -> Fail msg
+  | Ok first -> (
+    match run "cached recompile" with
+    | Error msg -> Fail msg
+    | Ok cached ->
+      if cached <> first then
+        Fail "cached session recompile diverged from its own first compile"
+      else (
+        match compile_json (Gen.build_kernel c) recipe with
+        | Error msg -> Fail ("fresh compile: " ^ msg)
+        | Ok fresh ->
+          if fresh <> first then
+            Fail "cached session result does not byte-match a fresh compile"
+          else Pass))
+
+let jobs_recipes = [| 0; 1 |]
+
+let check_jobs (c : Gen.kern_case) =
+  (* Each task rebuilds the kernel: the DAG caches consumer lists
+     internally, so sharing one kernel value across domains would race. *)
+  let compile_all ~jobs =
+    Pool.map ~jobs
+      (fun idx ->
+        match compile_json (Gen.build_kernel c) Gen.recipes.(idx) with
+        | Ok s -> s
+        | Error msg -> "error: " ^ msg)
+      jobs_recipes
+  in
+  let seq = compile_all ~jobs:1 in
+  let par = compile_all ~jobs:2 in
+  let rec first_diff i =
+    if i >= Array.length seq then None
+    else if seq.(i) <> par.(i) then Some i
+    else first_diff (i + 1)
+  in
+  match Array.find_opt (String.starts_with ~prefix:"error: ") seq with
+  | Some msg -> Fail msg
+  | None -> (
+    match first_diff 0 with
+    | Some i ->
+      failf "recipe %s compiles differently at jobs=1 vs jobs=2"
+        (Hlsb_ctrl.Style.label Gen.recipes.(jobs_recipes.(i)))
+    | None -> Pass)
+
+let check name case =
+  let wrong_kind () =
+    failf "oracle %s expects a %s case, got %s" (to_string name)
+      (match kind name with
+      | Gen.Kpipe -> "pipe"
+      | Gen.Knet -> "net"
+      | Gen.Kkern -> "kern")
+      (Gen.to_string case)
+  in
+  try
+    match (name, case) with
+    | Stall_skid, Gen.Pipe c -> check_pipe c
+    | Network, Gen.Net c -> check_net c
+    | Cache, Gen.Kern c -> check_cache c
+    | Jobs, Gen.Kern c -> check_jobs c
+    | (Stall_skid | Network | Cache | Jobs), _ -> wrong_kind ()
+  with e ->
+    failf "oracle %s raised on a well-formed case: %s" (to_string name)
+      (Printexc.to_string e)

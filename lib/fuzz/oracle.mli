@@ -1,0 +1,51 @@
+(** Cross-layer differential oracles.
+
+    Each oracle takes a well-formed {!Gen.t} case, runs two (or more)
+    independent implementations of the same contract against it, and
+    compares their observable behavior:
+
+    - [Stall_skid]: stall-controlled and skid-controlled pipelines
+      deliver the same output sequence when the skid buffer is
+      provisioned at [Skid.required_depth] (§4.3), the skid never
+      overflows at that depth, and the stall path's occupancy telemetry
+      is truthful (non-zero once anything was delivered).
+    - [Network]: [Sim.Network.run] completes on live networks, conserves
+      tokens on every channel ([produced - consumed = occupancy]),
+      fires every process exactly [tokens] times, and agrees with the
+      [sync:false] reference — exactly on sync-free graphs, and
+      stream-for-stream (never slower decoupled) on barriered ones
+      (§4.2).
+    - [Cache]: a [Core.Pipeline] session serving a recompile from cache
+      byte-matches a fresh single-use session (result JSON equality).
+    - [Jobs]: compile results are invariant under the [Pool] job count —
+      a parallel fan-out over recipes byte-matches the sequential one
+      (placement, timing and calibration must not be schedule-sensitive).
+
+    A check never raises on a well-formed case: an escaping exception is
+    itself reported as a [Fail]. *)
+
+type verdict =
+  | Pass
+  | Fail of string  (** human-readable description of the divergence *)
+
+type name =
+  | Stall_skid
+  | Network
+  | Cache
+  | Jobs
+
+val all : name list
+
+val to_string : name -> string
+(** ["stall-skid"], ["network"], ["cache"], ["jobs"] — the CLI's
+    [--oracle] vocabulary. *)
+
+val of_string : string -> name option
+val describe : name -> string
+
+val kind : name -> Gen.kind
+(** Which case shape the oracle consumes. *)
+
+val check : name -> Gen.t -> verdict
+(** Run the oracle. Returns [Fail] (never raises) on divergence, on an
+    escaped exception, or on a case of the wrong kind. *)

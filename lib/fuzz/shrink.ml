@@ -1,0 +1,126 @@
+(* Integer shrink targets, most aggressive first, all within [lo, v). *)
+let shrink_int ~lo v =
+  List.sort_uniq compare [ lo; v / 2; v - 1 ]
+  |> List.filter (fun x -> x >= lo && x < v)
+
+let pipe_candidates (c : Gen.pipe_case) =
+  let open Gen in
+  List.concat
+    [
+      List.map (fun n -> Pipe { c with pc_n = n }) (shrink_int ~lo:1 c.pc_n);
+      List.map
+        (fun s -> Pipe { c with pc_stages = s })
+        (shrink_int ~lo:1 c.pc_stages);
+      List.map
+        (fun d -> Pipe { c with pc_ctrl_delay = d })
+        (shrink_int ~lo:0 c.pc_ctrl_delay);
+      List.map
+        (fun s -> Pipe { c with pc_slack = s })
+        (shrink_int ~lo:0 c.pc_slack);
+      (* a fully-ready downstream is the simplest back-pressure pattern *)
+      (if c.pc_ready_duty < 4 then [ Pipe { c with pc_ready_duty = 4 } ] else []);
+      (if c.pc_ready_seed <> 0 then [ Pipe { c with pc_ready_seed = 0 } ] else []);
+    ]
+
+(* Remove chain [i]: groups lose the member and renumber those above it;
+   groups that fall below two members disappear. *)
+let drop_chain (c : Gen.net_case) i =
+  let open Gen in
+  let chains = List.filteri (fun j _ -> j <> i) c.nc_chains in
+  let groups =
+    List.filter_map
+      (fun (pos, members) ->
+        let members =
+          List.filter_map
+            (fun m ->
+              if m = i then None else if m > i then Some (m - 1) else Some m)
+            members
+        in
+        if List.length members >= 2 then Some (pos, members) else None)
+      c.nc_groups
+  in
+  { c with nc_chains = chains; nc_groups = groups }
+
+(* Shorten chain [i] by one process: groups at the now-invalid tail
+   position lose the member. *)
+let shorten_chain (c : Gen.net_case) i =
+  let open Gen in
+  let chains = List.mapi (fun j l -> if j = i then l - 1 else l) c.nc_chains in
+  let new_len = List.nth chains i in
+  let groups =
+    List.filter_map
+      (fun (pos, members) ->
+        let members =
+          if pos >= new_len then List.filter (fun m -> m <> i) members
+          else members
+        in
+        if List.length members >= 2 then Some (pos, members) else None)
+      c.nc_groups
+  in
+  { c with nc_chains = chains; nc_groups = groups }
+
+let net_candidates (c : Gen.net_case) =
+  let open Gen in
+  let n_chains = List.length c.nc_chains in
+  List.concat
+    [
+      (if n_chains > 1 then
+         List.init n_chains (fun i -> Net (drop_chain c i))
+       else []);
+      List.concat
+        (List.mapi
+           (fun i l -> if l > 1 then [ Net (shorten_chain c i) ] else [])
+           c.nc_chains);
+      List.mapi (fun i _ -> Net { c with nc_groups = List.filteri (fun j _ -> j <> i) c.nc_groups }) c.nc_groups;
+      List.map
+        (fun t -> Net { c with nc_tokens = t })
+        (shrink_int ~lo:1 c.nc_tokens);
+      (if c.nc_ready_duty < 4 then [ Net { c with nc_ready_duty = 4 } ] else []);
+      (if c.nc_ready_seed <> 0 then [ Net { c with nc_ready_seed = 0 } ] else []);
+      (if c.nc_depth_seed <> 0 then [ Net { c with nc_depth_seed = 0 } ] else []);
+    ]
+
+let kern_candidates (c : Gen.kern_case) =
+  let open Gen in
+  List.concat
+    [
+      List.map (fun o -> Kern { c with kc_ops = o }) (shrink_int ~lo:1 c.kc_ops);
+      (if c.kc_width > 8 then [ Kern { c with kc_width = 8 } ] else []);
+    ]
+
+let candidates case =
+  let cands =
+    match case with
+    | Gen.Pipe c -> pipe_candidates c
+    | Gen.Net c -> net_candidates c
+    | Gen.Kern c -> kern_candidates c
+  in
+  List.filter Gen.valid cands
+
+let minimize ~check failing =
+  let fail_msg c =
+    match check c with
+    | Oracle.Fail msg -> Some msg
+    | Oracle.Pass -> None
+  in
+  let msg0 =
+    match fail_msg failing with
+    | Some m -> m
+    | None -> invalid_arg "Shrink.minimize: the starting case does not fail"
+  in
+  let rec go case msg steps =
+    if steps >= 500 then (case, msg, steps)
+    else
+      let next =
+        List.find_map
+          (fun cand ->
+            match fail_msg cand with
+            | Some m -> Some (cand, m)
+            | None -> None)
+          (candidates case)
+      in
+      match next with
+      | Some (cand, m) -> go cand m (steps + 1)
+      | None -> (case, msg, steps)
+  in
+  go failing msg0 0

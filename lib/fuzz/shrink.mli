@@ -1,0 +1,20 @@
+(** Greedy reducer for failing fuzz cases.
+
+    {!candidates} proposes strictly smaller well-formed variants of a
+    case, ordered most-aggressive first (halvings before decrements,
+    structure drops before parameter tweaks). {!minimize} repeatedly
+    replaces the case with its first still-failing candidate until none
+    fails — a greedy descent that ends on a local minimum: a case whose
+    every single-step reduction passes the oracle. *)
+
+val candidates : Gen.t -> Gen.t list
+(** Strictly smaller variants, all of which satisfy [Gen.valid]. Empty
+    for a fully minimal case. *)
+
+val minimize :
+  check:(Gen.t -> Oracle.verdict) -> Gen.t -> Gen.t * string * int
+(** [minimize ~check failing] walks candidates greedily and returns the
+    minimized case, the failure message it still produces, and the
+    number of successful shrink steps taken. [failing] must fail
+    [check]; its message is returned when no candidate fails. Capped at
+    500 steps. *)

@@ -1,20 +1,40 @@
 open Hlsb_ir
+module Diag = Hlsb_util.Diag
+
+type status =
+  | Completed
+  | Deadlocked
+  | Limit_exceeded
 
 type result = {
   cycles : int;
   fired : int array;
   delivered : (int * int list) list;
-  deadlocked : bool;
+  status : status;
+  occupancy : int array;
+  produced : int array;
+  consumed : int array;
 }
+
+let status_label = function
+  | Completed -> "completed"
+  | Deadlocked -> "deadlocked"
+  | Limit_exceeded -> "limit-exceeded"
 
 let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
   let n_proc = Dataflow.n_processes df in
   let n_chan = Dataflow.n_channels df in
   let chans = Dataflow.channels df in
+  if tokens < 1 then
+    Diag.fail ~stage:"sim"
+      "Network.run: tokens = %d; a run must observe at least one token \
+       (tokens < 1 would report success after zero cycles)"
+      tokens;
   (* Channel occupancies as token counters; contents are sequence numbers,
      so FIFO order makes the k-th delivered token always k. *)
   let occupancy = Array.make n_chan 0 in
   let produced = Array.make n_chan 0 in
+  let consumed = Array.make n_chan 0 in
   let consumed_out = Array.make n_chan 0 in
   let delivered = Array.make n_chan [] in
   (* Per-process channel sets as flat int arrays, hoisted out of the cycle
@@ -52,6 +72,11 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
     Array.of_list !acc
   in
   let n_ext = Array.length ext_outputs in
+  if n_ext = 0 then
+    Diag.fail ~stage:"sim"
+      "Network.run: network has no external output channel (dst = -1); \
+       there is nothing to observe, so the run would report an instant \
+       0-cycle success";
   let has_data c = occupancy.(c) > 0 in
   let has_room c = occupancy.(c) < depth.(c) in
   let can_fire p =
@@ -82,10 +107,16 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
     activate src_of.(c);
     activate dst_of.(c)
   in
+  (* Did any token move this cycle (a process fired or a sink drained)?
+     Distinguishes a network that is merely waiting on sink readiness from
+     one that can never move again. *)
+  let moved = ref false in
   let fire p =
+    moved := true;
     Array.iter
       (fun c ->
         occupancy.(c) <- occupancy.(c) - 1;
+        consumed.(c) <- consumed.(c) + 1;
         touch c)
       in_chans.(p);
     Array.iter
@@ -98,16 +129,20 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
   in
   (* Count of external outputs that have drained all [tokens], instead of
      rescanning every output channel every cycle. *)
-  let outputs_done = ref (if tokens <= 0 then n_ext else 0) in
+  let outputs_done = ref 0 in
   let all_done () = !outputs_done >= n_ext in
   let limit = (tokens * 50) + 1000 in
   let cycle = ref 0 in
-  while (not (all_done ())) && !cycle < limit do
+  let dead = ref false in
+  while (not !dead) && (not (all_done ())) && !cycle < limit do
+    moved := false;
     (* 1. external sinks drain according to their readiness *)
     Array.iter
       (fun c ->
         if ready ~chan:c ~cycle:!cycle && occupancy.(c) > 0 then begin
           occupancy.(c) <- occupancy.(c) - 1;
+          consumed.(c) <- consumed.(c) + 1;
+          moved := true;
           touch c;
           delivered.(c) <- consumed_out.(c) :: delivered.(c);
           consumed_out.(c) <- consumed_out.(c) + 1;
@@ -133,7 +168,18 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
       for c = 0 to n_chan - 1 do
         Hlsb_telemetry.Metrics.observe_int "sim.chan_occupancy" occupancy.(c)
       done;
-    incr cycle
+    incr cycle;
+    (* 3. deadlock test: nothing moved, and every external output is empty.
+       Sink readiness is the only time-varying input, and it can only ever
+       drain a non-empty external output — so a motionless cycle with all
+       external outputs empty is a state no future readiness pattern can
+       unfreeze: a true deadlock. A motionless cycle with data sitting on
+       an output is just back-pressure; it runs on (to the cycle limit if
+       the sink never becomes ready, which is [Limit_exceeded], not
+       deadlock). *)
+    if (not !moved) && not (all_done ()) then
+      if Array.for_all (fun c -> occupancy.(c) = 0) ext_outputs then
+        dead := true
   done;
   Hlsb_telemetry.Metrics.incr ~by:!cycle "sim.cycles";
   {
@@ -142,5 +188,11 @@ let run ?(sync = true) (df : Dataflow.t) ~tokens ~ready =
     delivered =
       Array.to_list
         (Array.map (fun c -> (c, List.rev delivered.(c))) ext_outputs);
-    deadlocked = not (all_done ());
+    status =
+      (if all_done () then Completed
+       else if !dead then Deadlocked
+       else Limit_exceeded);
+    occupancy;
+    produced;
+    consumed;
   }

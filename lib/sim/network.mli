@@ -12,12 +12,33 @@
     or none does. External outputs (channels with dst = -1) consume tokens
     according to a per-channel readiness pattern. *)
 
+type status =
+  | Completed  (** every external output delivered all [tokens] *)
+  | Deadlocked
+      (** no process can ever fire again and every external output is
+          empty: no future sink-readiness pattern can unfreeze the
+          network (circular waits, barrier groups spanning dependent
+          processes, ...) *)
+  | Limit_exceeded
+      (** the cycle limit ran out while the network was still live — a
+          slow-but-progressing run (e.g. a rarely-ready sink), not a
+          deadlock *)
+
+val status_label : status -> string
+
 type result = {
-  cycles : int;  (** cycles until every external output delivered [tokens] *)
+  cycles : int;  (** cycles simulated *)
   fired : int array;  (** per-process firing count *)
   delivered : (int * int list) list;
       (** per external-output channel: the token sequence numbers received *)
-  deadlocked : bool;  (** hit the cycle limit before completing *)
+  status : status;
+  occupancy : int array;  (** per-channel tokens in flight at exit *)
+  produced : int array;  (** per-channel tokens ever pushed *)
+  consumed : int array;
+      (** per-channel tokens ever popped (by the consumer process, or by
+          the external sink for output channels). Token conservation —
+          [produced.(c) - consumed.(c) = occupancy.(c)] for every channel —
+          is a differential-fuzzing oracle over this record. *)
 }
 
 val run :
@@ -28,4 +49,8 @@ val run :
   result
 (** [sync] (default true) applies the network's sync groups as barriers;
     [sync:false] ignores them (an idealized fully-decoupled run, useful as
-    a reference). External input channels (src = -1) always have data. *)
+    a reference). External input channels (src = -1) always have data.
+
+    Raises [Hlsb_util.Diag.Diagnostic] (stage ["sim"]) when the network
+    has no external output channel or [tokens < 1] — both degenerate
+    cases that would otherwise report an instant 0-cycle success. *)

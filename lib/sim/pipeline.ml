@@ -1,4 +1,5 @@
 module Metrics = Hlsb_telemetry.Metrics
+module Diag = Hlsb_util.Diag
 
 type 'b result = {
   outputs : 'b list;
@@ -52,8 +53,8 @@ let run_stall ~stages ~inputs ~ready ~f =
   {
     outputs = List.rev !delivered;
     cycles = !cycle;
-    max_occupancy = 0;
-    overflow = false;
+    max_occupancy = Fifo.max_occupancy out_fifo;
+    overflow = Fifo.overflowed out_fifo;
   }
 
 type gate =
@@ -63,6 +64,23 @@ type gate =
 let run_skid ~stages ~skid_depth ~ctrl_delay ~gate ~inputs ~ready ~f =
   if stages < 1 then invalid_arg "Pipeline.run_skid: stages < 1";
   if ctrl_delay < 0 then invalid_arg "Pipeline.run_skid: ctrl_delay < 0";
+  (* An under-provisioned credit gate has a negative admission threshold:
+     the read gate never opens, nothing ever enters the pipeline, and the
+     run exits through the cycle limit with every input silently dropped.
+     (Gate_empty with a shallow buffer is different: it runs and reports
+     overflow, which the sizing experiments rely on observing.) *)
+  (match gate with
+  | Gate_empty -> ()
+  | Gate_credit ->
+    let required =
+      Hlsb_ctrl.Skid.required_depth ~pipeline_depth:stages
+        ~ctrl_stages:ctrl_delay ()
+    in
+    if skid_depth < required then
+      Diag.fail ~stage:"sim"
+        "Pipeline.run_skid: Gate_credit skid_depth %d < required depth %d \
+         (stages %d + 1 + ctrl_delay %d); the read gate would never open"
+        skid_depth required stages ctrl_delay);
   let regs = Array.make stages None in
   let skid = Fifo.create ~depth:skid_depth in
   (* History of skid occupancy, oldest first, for the registered

@@ -11,8 +11,11 @@
 type 'b result = {
   outputs : 'b list;  (** tokens delivered downstream, in order *)
   cycles : int;  (** cycles until the pipeline fully drained *)
-  max_occupancy : int;  (** skid high-water mark (0 for stall control) *)
-  overflow : bool;  (** a skid push was dropped — sizing violated *)
+  max_occupancy : int;
+      (** buffer high-water mark: the skid FIFO under skid control, the
+          output FIFO under stall control (never 0 once anything was
+          delivered — occupancy telemetry must not read as always-empty) *)
+  overflow : bool;  (** a buffer push was dropped — sizing violated *)
 }
 
 val run_stall :
@@ -48,7 +51,14 @@ val run_skid :
   'b result
 (** Always-flowing pipeline with a valid bit per datum and a skid FIFO at
     the end, under the chosen read-gate discipline. [ctrl_delay] registers
-    sit on the back-pressure observation path (0 = combinational). *)
+    sit on the back-pressure observation path (0 = combinational).
+
+    Raises [Hlsb_util.Diag.Diagnostic] (stage ["sim"]) when [Gate_credit]
+    is combined with [skid_depth < Skid.required_depth]: the credit
+    threshold would be negative, the read gate would never open, and the
+    run would exit through the cycle limit with every input silently
+    undelivered. [Gate_empty] accepts any depth — shallow buffers run and
+    report {!field-overflow}, which the sizing experiments observe. *)
 
 val throughput : 'b result -> float
 (** Delivered tokens per cycle. *)

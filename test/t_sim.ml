@@ -139,6 +139,41 @@ let test_invalid_args () =
     (fun () ->
       ignore (Pipeline.run_stall ~stages:0 ~inputs:[ 1 ] ~ready:always_ready ~f:Fun.id))
 
+let test_stall_stats_truthful () =
+  (* the out-FIFO stats used to be hardcoded to (0, false); a run that
+     delivers anything must show a non-empty high-water mark *)
+  let r =
+    Pipeline.run_stall ~stages:3 ~inputs:(inputs 10)
+      ~ready:(ready_pattern 0 3 1) ~f:Fun.id
+  in
+  Alcotest.(check bool) "max_occupancy >= 1" true (r.Pipeline.max_occupancy >= 1);
+  Alcotest.(check bool) "no overflow" false r.Pipeline.overflow
+
+let test_underprovisioned_credit_rejected () =
+  (* a credit gate below Skid.required_depth computes a negative open
+     threshold: the gate would never open and tokens would silently
+     vanish. It must be rejected up front as a structured diagnostic. *)
+  let required =
+    Hlsb_ctrl.Skid.required_depth ~pipeline_depth:6 ~ctrl_stages:2 ()
+  in
+  (match
+     Pipeline.run_skid ~stages:6 ~skid_depth:(required - 1) ~ctrl_delay:2
+       ~gate:Pipeline.Gate_credit ~inputs:(inputs 10) ~ready:always_ready
+       ~f:Fun.id
+   with
+  | _ -> Alcotest.fail "under-provisioned Gate_credit accepted"
+  | exception Hlsb_util.Diag.Diagnostic d ->
+    Alcotest.(check string) "sim stage" "sim" d.Hlsb_util.Diag.d_stage);
+  (* the same shallow depth stays legal under Gate_empty: overflow is an
+     observable result there, and the sizing experiments rely on it *)
+  let r =
+    Pipeline.run_skid ~stages:6 ~skid_depth:(required - 1) ~ctrl_delay:2
+      ~gate:Pipeline.Gate_empty ~inputs:(inputs 10) ~ready:always_ready
+      ~f:Fun.id
+  in
+  Alcotest.(check (list int)) "gate_empty still runs" (inputs 10)
+    r.Pipeline.outputs
+
 (* the paper's central §4.3 equivalence, adversarially *)
 let prop_skid_equals_stall =
   QCheck.Test.make ~count:120
@@ -163,6 +198,33 @@ let prop_skid_equals_stall =
       && (not skid.Pipeline.overflow)
       && abs (stall.Pipeline.cycles - skid.Pipeline.cycles)
          <= (2 * (stages + ctrl_delay)) + 6)
+
+(* same equivalence at exactly the paper's bound: Gate_empty at
+   required_depth = N + 1 + ctrl_delay delivers the stall stream with no
+   overflow — no extra slack needed *)
+let prop_skid_equals_stall_at_required_depth =
+  QCheck.Test.make ~count:120
+    ~name:"skid at exactly Skid.required_depth matches stall deliveries"
+    QCheck.(triple small_nat (int_range 1 12) (int_range 0 3))
+    (fun (seed, stages, ctrl_delay) ->
+      let rng = Rng.create seed in
+      let n = 10 + Rng.int rng 30 in
+      let pattern = Array.init 4096 (fun _ -> Rng.int rng 4 > 0) in
+      let ready c = pattern.(c mod 4096) in
+      let depth =
+        Hlsb_ctrl.Skid.required_depth ~pipeline_depth:stages
+          ~ctrl_stages:ctrl_delay ()
+      in
+      let stall =
+        Pipeline.run_stall ~stages ~inputs:(inputs n) ~ready ~f:(fun x -> x + 9)
+      in
+      let skid =
+        Pipeline.run_skid ~stages ~skid_depth:depth ~ctrl_delay
+          ~gate:Pipeline.Gate_empty ~inputs:(inputs n) ~ready ~f:(fun x -> x + 9)
+      in
+      stall.Pipeline.outputs = skid.Pipeline.outputs
+      && (not skid.Pipeline.overflow)
+      && stall.Pipeline.max_occupancy >= 1)
 
 let prop_skid_occupancy_bounded =
   QCheck.Test.make ~count:120 ~name:"skid occupancy never exceeds N+1+delay"
@@ -194,7 +256,7 @@ let two_flows () =
 let test_network_runs () =
   let df, oa, ob = two_flows () in
   let r = Network.run df ~tokens:10 ~ready:(fun ~chan:_ ~cycle:_ -> true) in
-  Alcotest.(check bool) "completed" false r.Network.deadlocked;
+  Alcotest.(check bool) "completed" true (r.Network.status = Network.Completed);
   Alcotest.(check (list int)) "flow a stream" (List.init 10 Fun.id)
     (List.assoc oa r.Network.delivered);
   Alcotest.(check (list int)) "flow b stream" (List.init 10 Fun.id)
@@ -242,7 +304,61 @@ let test_network_deadlock_guard () =
   ignore (Dataflow.add_channel df ~name:"ba" ~src:b ~dst:a ~dtype:(Dtype.Int 8) ());
   ignore (Dataflow.add_channel df ~name:"o" ~src:b ~dst:(-1) ~dtype:(Dtype.Int 8) ());
   let r = Network.run df ~tokens:5 ~ready:(fun ~chan:_ ~cycle:_ -> true) in
-  Alcotest.(check bool) "deadlock detected" true r.Network.deadlocked
+  Alcotest.(check bool) "deadlock detected" true
+    (r.Network.status = Network.Deadlocked);
+  (* a true deadlock is recognized as soon as the network freezes, not
+     after grinding out the whole cycle budget *)
+  Alcotest.(check bool) "detected promptly" true (r.Network.cycles < 100)
+
+let test_limit_is_not_deadlock () =
+  (* a sink that drains only once every 200 cycles makes progress far too
+     slowly for the cycle budget (tokens*50 + 1000), but it IS making
+     progress: the run must end Limit_exceeded, never Deadlocked *)
+  let df, _, _ = two_flows () in
+  let ready ~chan:_ ~cycle = cycle mod 200 = 0 in
+  let r = Network.run df ~tokens:20 ~ready in
+  Alcotest.(check bool) "limit exceeded" true
+    (r.Network.status = Network.Limit_exceeded);
+  Alcotest.(check bool) "some tokens were delivered" true
+    (List.exists (fun (_, s) -> s <> []) r.Network.delivered)
+
+let test_network_conservation_counters () =
+  let df, oa, ob = two_flows () in
+  let ready ~chan ~cycle = (chan + cycle) mod 3 <> 0 in
+  let r = Network.run df ~tokens:12 ~ready in
+  Alcotest.(check bool) "completed" true (r.Network.status = Network.Completed);
+  List.iteri
+    (fun ch _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "channel %d: produced - consumed = occupancy" ch)
+        r.Network.occupancy.(ch)
+        (r.Network.produced.(ch) - r.Network.consumed.(ch)))
+    (Array.to_list r.Network.occupancy);
+  (* a completed run leaves nothing in flight *)
+  List.iter
+    (fun c -> Alcotest.(check int) "drained" 0 r.Network.occupancy.(c))
+    [ oa; ob ]
+
+let test_network_rejects_degenerate_runs () =
+  let diag_raised f =
+    match f () with
+    | _ -> false
+    | exception Hlsb_util.Diag.Diagnostic d -> d.Hlsb_util.Diag.d_stage = "sim"
+  in
+  let df, _, _ = two_flows () in
+  Alcotest.(check bool) "tokens < 1 rejected" true
+    (diag_raised (fun () ->
+       Network.run df ~tokens:0 ~ready:(fun ~chan:_ ~cycle:_ -> true)));
+  (* no external output channel: nothing observable, instant vacuous pass *)
+  let open Hlsb_ir in
+  let blind = Dataflow.create () in
+  let p = Dataflow.add_process blind ~name:"p" () in
+  ignore
+    (Dataflow.add_channel blind ~name:"i" ~src:(-1) ~dst:p
+       ~dtype:(Dtype.Int 8) ());
+  Alcotest.(check bool) "no-ext-output rejected" true
+    (diag_raised (fun () ->
+       Network.run blind ~tokens:3 ~ready:(fun ~chan:_ ~cycle:_ -> true)))
 
 let test_long_freeze_resumes () =
   (* Network.run keeps idle processes off a worklist between occupancy
@@ -252,7 +368,8 @@ let test_long_freeze_resumes () =
   let df, oa, ob = two_flows () in
   let ready ~chan:_ ~cycle = cycle < 5 || cycle > 150 in
   let r = Network.run df ~tokens:25 ~ready in
-  Alcotest.(check bool) "completes after the freeze" false r.Network.deadlocked;
+  Alcotest.(check bool) "completes after the freeze" true
+    (r.Network.status = Network.Completed);
   List.iter
     (fun c ->
       Alcotest.(check (list int))
@@ -273,7 +390,7 @@ let prop_sparse_readiness_completes =
       let pattern = Array.init 512 (fun _ -> Rng.int rng 8 = 0) in
       let ready ~chan ~cycle = pattern.(((chan * 7) + cycle) mod 512) in
       let r = Network.run df ~tokens:8 ~ready in
-      (not r.Network.deadlocked)
+      r.Network.status = Network.Completed
       && List.assoc oa r.Network.delivered = List.init 8 Fun.id
       && List.assoc ob r.Network.delivered = List.init 8 Fun.id)
 
@@ -309,16 +426,25 @@ let suite =
     Alcotest.test_case "ctrl delay needs margin" `Quick test_ctrl_delay_needs_margin;
     Alcotest.test_case "full-speed throughput" `Quick test_throughput_full_speed;
     Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "stall stats truthful" `Quick test_stall_stats_truthful;
+    Alcotest.test_case "under-provisioned credit rejected" `Quick
+      test_underprovisioned_credit_rejected;
     Alcotest.test_case "network runs" `Quick test_network_runs;
     Alcotest.test_case "barrier couples flows" `Quick test_barrier_couples_flows;
     Alcotest.test_case "pruning preserves streams" `Quick
       test_pruning_preserves_streams;
     Alcotest.test_case "deadlock guard" `Quick test_network_deadlock_guard;
+    Alcotest.test_case "limit is not deadlock" `Quick test_limit_is_not_deadlock;
+    Alcotest.test_case "conservation counters" `Quick
+      test_network_conservation_counters;
+    Alcotest.test_case "degenerate runs rejected" `Quick
+      test_network_rejects_degenerate_runs;
     Alcotest.test_case "long freeze resumes" `Quick test_long_freeze_resumes;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
         prop_skid_equals_stall;
+        prop_skid_equals_stall_at_required_depth;
         prop_skid_occupancy_bounded;
         prop_pruning_stream_equivalence;
         prop_sparse_readiness_completes;

@@ -11,6 +11,7 @@ let () =
       ("sched", T_sched.suite);
       ("ctrl", T_ctrl.suite);
       ("sim", T_sim.suite);
+      ("fuzz", T_fuzz.suite);
       ("rtlgen", T_rtlgen.suite);
       ("designs", T_designs.suite);
       ("core", T_core.suite);
