@@ -44,6 +44,7 @@ module Pool = Hlsb_util.Pool
 module Trace = Hlsb_telemetry.Trace
 module Metrics = Hlsb_telemetry.Metrics
 module Json = Hlsb_telemetry.Json
+module Ledger = Hlsb_obs.Ledger
 
 let section title = Printf.printf "\n===== %s =====\n%!" title
 
@@ -257,6 +258,35 @@ let run_record ~label ~jobs trace registry =
                 Core.Pipeline.stages) );
     ]
 
+(* Every bench invocation also leaves one hlsb-run/1 record in the shared
+   run ledger (unless HLSB_LEDGER=off): sections become "ran" stages, so
+   [hlsbc obs diff/regress] can compare bench passes against compiles and
+   against each other. *)
+let append_ledger_record ~label trace registry =
+  if Ledger.enabled () then begin
+    let snap = Metrics.snapshot registry in
+    let stages =
+      List.map
+        (fun (n, ms) -> { Ledger.st_name = n; st_status = "ran"; st_ms = ms })
+        (section_times trace)
+    in
+    let cache =
+      List.filter
+        (fun (name, _) ->
+          String.starts_with ~prefix:"pipeline.cache" name
+          || String.starts_with ~prefix:"calibrate." name)
+        snap.Metrics.sn_counters
+    in
+    let record =
+      Ledger.make ~stages ~cache ~metrics:(Metrics.to_json snap) ~cmd:"bench"
+        ~label ()
+    in
+    match Ledger.append record with
+    | Ok path ->
+      Printf.printf "run ledger: appended %s to %s\n" record.Ledger.r_id path
+    | Error msg -> Printf.eprintf "run ledger: %s\n" msg
+  end
+
 let append_run_record ~path record =
   let existing =
     if Sys.file_exists path then begin
@@ -330,6 +360,9 @@ let run_sweep ~only ~json_path ~label sweep =
             (run_record
                ~label:(Printf.sprintf "%s-jobs%d" base_label j)
                ~jobs:j trace registry);
+        append_ledger_record
+          ~label:(Printf.sprintf "%s-jobs%d" base_label j)
+          trace registry;
         (j, total))
       sweep
   in
@@ -411,9 +444,9 @@ let () =
     let trace, registry = run_suite ~only:!only ~no_bechamel:!no_bechamel () in
     Printf.printf "\nTotal evaluation time: %.1fs\n" (total_s trace);
     write_profile trace registry;
-    if !json_path <> "" then begin
-      let label = if !label <> "" then !label else "run" in
+    let label = if !label <> "" then !label else "run" in
+    append_ledger_record ~label trace registry;
+    if !json_path <> "" then
       append_run_record ~path:!json_path
         (run_record ~label ~jobs:(Pool.default_jobs ()) trace registry)
-    end
   end

@@ -10,6 +10,7 @@
      path      DESIGN         critical path under a recipe
      schedule  DESIGN         schedule report of the design's first kernel
      calibrate                warm / inspect / clear the calibration cache
+     obs                      run ledger: list | report | diff | regress | prom
      table1|table2|table3     regenerate the paper's tables
      fig9|fig15|fig16|fig17|fig19   regenerate the paper's figures
      ablation                 design-choice ablations *)
@@ -27,6 +28,10 @@ module Netlist = Hlsb_netlist.Netlist
 module Trace = Hlsb_telemetry.Trace
 module Metrics = Hlsb_telemetry.Metrics
 module Json = Hlsb_telemetry.Json
+module Log = Hlsb_obs.Log
+module Ledger = Hlsb_obs.Ledger
+module Obs_report = Hlsb_obs.Report
+module Prom = Hlsb_obs.Prom
 open Cmdliner
 
 (* Designs can be named exactly ("Vector Arithmetic") or in a relaxed
@@ -106,6 +111,35 @@ let jobs_term =
   in
   Term.(const (fun n -> if n > 0 then Pool.set_default_jobs n) $ arg)
 
+(* Shared --log-level term: overrides HLSB_LOG for this invocation. The
+   full spec grammar is accepted, so "--log-level debug,json" switches
+   both the threshold and the record format. *)
+let log_term =
+  let arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold: debug | info | warn | error | off, \
+             optionally with a format (text | json), comma-separated \
+             (default: \\$(b,HLSB_LOG), then warn,text).")
+  in
+  let apply = function
+    | None -> ()
+    | Some s -> (
+      match Log.parse_spec s with
+      | Ok (lvl, fmt) ->
+        Option.iter Log.set_level lvl;
+        Option.iter Log.set_format fmt
+      | Error msg ->
+        Printf.eprintf "--log-level: %s\n" msg;
+        exit 2)
+  in
+  Term.(const apply $ arg)
+
+let common_term = Term.(const (fun () () -> ()) $ jobs_term $ log_term)
+
 let cmd_list =
   let run () =
     print_endline "benchmark designs (Table 1):";
@@ -147,11 +181,40 @@ let write_text ~path text =
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc text)
 
-(* Structured diagnostics (stage + offending entity) render on stderr
-   with a non-zero exit, instead of an Invalid_argument backtrace. *)
+(* Structured diagnostics (stage + offending entity) render through the
+   event log (so --log-level json gives a machine-readable failure
+   record) with a non-zero exit, instead of an Invalid_argument
+   backtrace. *)
 let fail_diag d =
-  Printf.eprintf "%s\n" (Diag.to_string d);
+  Log.error "%s" (Diag.to_string d);
   exit 1
+
+(* ---- run-ledger assembly shared by compile / cc / profile / fuzz ---- *)
+
+let stage_ms_of_session session =
+  List.map
+    (fun (r : Pipeline.stage_record) ->
+      {
+        Ledger.st_name = Pipeline.stage_name r.Pipeline.sr_stage;
+        st_status = Pipeline.status_label r.Pipeline.sr_status;
+        st_ms = r.Pipeline.sr_ms;
+      })
+    (Pipeline.last_run session)
+
+let cache_counters (snap : Metrics.snapshot) =
+  List.filter
+    (fun (name, _) ->
+      String.starts_with ~prefix:"pipeline.cache" name
+      || String.starts_with ~prefix:"calibrate." name)
+    snap.Metrics.sn_counters
+
+(* Ledger failures must never take a compile down: log and move on. *)
+let append_ledger record =
+  match Ledger.append record with
+  | Ok path ->
+    Log.debug ~attrs:[ ("run", Json.Str record.Ledger.r_id) ]
+      "appended run record to %s" path
+  | Error msg -> Log.warn "run ledger: %s" msg
 
 let stage_of_string s =
   match Pipeline.stage_of_name (String.lowercase_ascii (String.trim s)) with
@@ -190,11 +253,48 @@ let cmd_compile =
     let s = find_design name in
     let recipe = recipe_of recipe in
     let session = Pipeline.of_spec s in
-    match Pipeline.run session ~recipe with
+    (* The ledger wants the full metrics snapshot, which needs a registry
+       installed around the compile. With HLSB_LEDGER=off none of this
+       runs and the compile path is exactly what it was. *)
+    let registry = if Ledger.enabled () then Some (Metrics.create ()) else None in
+    let outcome =
+      match registry with
+      | Some reg ->
+        Metrics.with_registry reg (fun () -> Pipeline.run session ~recipe)
+      | None -> Pipeline.run session ~recipe
+    in
+    match outcome with
     | Error d -> fail_diag d
     | Ok r ->
-      if json then
-        print_endline (Json.to_string ~minify:false (Core.Flow.result_to_json r))
+      let record =
+        match registry with
+        | None -> None
+        | Some reg ->
+          let snap = Metrics.snapshot reg in
+          let record =
+            Ledger.make
+              ~device:s.Spec.sp_device.Hlsb_device.Device.name
+              ~fingerprint:(Cal_cache.fingerprint s.Spec.sp_device)
+              ~recipe:(Style.label recipe)
+              ~stages:(stage_ms_of_session session)
+              ~results:[ Core.Flow.result_to_json r ]
+              ~cache:(cache_counters snap)
+              ~metrics:(Metrics.to_json snap) ~cmd:"compile"
+              ~label:s.Spec.sp_name ()
+          in
+          append_ledger record;
+          Some record
+      in
+      if json then begin
+        let base = Core.Flow.result_to_json r in
+        let full =
+          match (base, record) with
+          | Json.Obj fields, Some rc ->
+            Json.Obj (fields @ [ ("run", Ledger.to_json rc) ])
+          | _ -> base
+        in
+        print_endline (Json.to_string ~minify:false full)
+      end
       else print_endline (Core.Flow.summary r);
       (match dump_after with
       | None -> ()
@@ -242,7 +342,7 @@ let cmd_compile =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a benchmark and report Fmax/resources")
     Term.(
-      const run $ jobs_term $ design_arg $ recipe_arg $ json_arg $ dump_arg
+      const run $ common_term $ design_arg $ recipe_arg $ json_arg $ dump_arg
       $ explain_arg)
 
 let cmd_profile =
@@ -250,10 +350,15 @@ let cmd_profile =
     let s = find_design name in
     let trace = Trace.create () in
     let registry = Metrics.create () in
+    let session = Pipeline.of_spec s in
     let r =
       Trace.with_collector trace (fun () ->
         Metrics.with_registry registry (fun () ->
-          let r = Core.Flow.compile_spec ~recipe:(recipe_of recipe) s in
+          let r =
+            match Pipeline.run session ~recipe:(recipe_of recipe) with
+            | Ok r -> r
+            | Error d -> fail_diag d
+          in
           (* Drive the behavioral skid model under bursty back-pressure so
              the profile also carries the §4.3 occupancy series. *)
           let stages =
@@ -278,6 +383,21 @@ let cmd_profile =
           r))
     in
     let snap = Metrics.snapshot registry in
+    (* Profile is inherently instrumented, so the record is assembled
+       regardless; HLSB_LEDGER only controls whether it is persisted.
+       The --metrics file is that same record — one format everywhere
+       (satellite requirement). *)
+    let record =
+      Ledger.make
+        ~device:s.Spec.sp_device.Hlsb_device.Device.name
+        ~fingerprint:(Cal_cache.fingerprint s.Spec.sp_device)
+        ~recipe:(Style.label (recipe_of recipe))
+        ~stages:(stage_ms_of_session session)
+        ~results:[ Core.Flow.result_to_json r ]
+        ~cache:(cache_counters snap)
+        ~metrics:(Metrics.to_json snap) ~cmd:"profile" ~label:s.Spec.sp_name ()
+    in
+    if Ledger.enabled () then append_ledger record;
     if not quiet then begin
       print_endline (Core.Flow.summary r);
       print_newline ();
@@ -299,15 +419,8 @@ let cmd_profile =
     | None -> ()
     | Some path ->
       write_text ~path
-        (Json.to_string ~minify:false
-           (Json.Obj
-              [
-                ("design", Json.Str s.Spec.sp_name);
-                ("recipe", Json.Str recipe);
-                ("result", Core.Flow.result_to_json r);
-                ("metrics", Metrics.to_json snap);
-              ]));
-      if not quiet then Printf.printf "wrote metrics to %s\n" path
+        (Json.to_string ~minify:false (Ledger.to_json record) ^ "\n");
+      if not quiet then Printf.printf "wrote run record to %s\n" path
   in
   let trace_arg =
     Arg.(
@@ -321,7 +434,10 @@ let cmd_profile =
       value
       & opt (some string) None
       & info [ "metrics" ] ~docv:"OUT.json"
-          ~doc:"Write the metrics snapshot (with the compile result) to $(docv).")
+          ~doc:
+            "Write the hlsb-run/1 record (stage timings, compile result, \
+             full metrics snapshot) to $(docv) — the same record the run \
+             ledger receives.")
   in
   let quiet_arg =
     Arg.(
@@ -334,7 +450,7 @@ let cmd_profile =
          "Compile a benchmark with telemetry enabled: nested spans for \
           elaborate/schedule/lower/timing plus broadcast/occupancy metrics")
     Term.(
-      const run $ jobs_term $ design_arg $ recipe_arg $ trace_arg $ metrics_arg
+      const run $ common_term $ design_arg $ recipe_arg $ trace_arg $ metrics_arg
       $ quiet_arg)
 
 let cmd_path =
@@ -390,7 +506,7 @@ let cmd_schedule =
     Term.(const run $ design_arg $ recipe_arg)
 
 let cmd_cc =
-  let run file recipe =
+  let run () file recipe =
     let src =
       let ic = open_in file in
       Fun.protect
@@ -404,22 +520,43 @@ let cmd_cc =
     | Ok df -> (
       let device = Hlsb_device.Device.ultrascale_plus in
       print_string (Core.Classify.to_string (Core.Classify.analyze ~device df));
+      let name = Filename.remove_extension (Filename.basename file) in
       let session =
-        Pipeline.create ~device
-          ~name:(Filename.remove_extension (Filename.basename file))
-          ~build:(fun () -> df)
-          ()
+        Pipeline.create ~device ~name ~build:(fun () -> df) ()
       in
-      match Pipeline.run session ~recipe:(recipe_of recipe) with
+      let recipe = recipe_of recipe in
+      let registry =
+        if Ledger.enabled () then Some (Metrics.create ()) else None
+      in
+      let outcome =
+        match registry with
+        | Some reg ->
+          Metrics.with_registry reg (fun () -> Pipeline.run session ~recipe)
+        | None -> Pipeline.run session ~recipe
+      in
+      match outcome with
       | Error d -> fail_diag d
-      | Ok r -> print_endline (Core.Flow.summary r))
+      | Ok r ->
+        (match registry with
+        | None -> ()
+        | Some reg ->
+          let snap = Metrics.snapshot reg in
+          append_ledger
+            (Ledger.make ~device:device.Hlsb_device.Device.name
+               ~fingerprint:(Cal_cache.fingerprint device)
+               ~recipe:(Style.label recipe)
+               ~stages:(stage_ms_of_session session)
+               ~results:[ Core.Flow.result_to_json r ]
+               ~cache:(cache_counters snap)
+               ~metrics:(Metrics.to_json snap) ~cmd:"cc" ~label:name ()));
+        print_endline (Core.Flow.summary r))
   in
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
   in
   Cmd.v
     (Cmd.info "cc" ~doc:"Compile a C-subset source file through the flow")
-    Term.(const run $ file_arg $ recipe_arg)
+    Term.(const run $ common_term $ file_arg $ recipe_arg)
 
 let cmd_emit =
   let run name recipe fmt out =
@@ -560,7 +697,7 @@ let cmd_calibrate =
          "Inspect, warm, or clear the persistent calibration cache \
           (post-route delay curves keyed by device fingerprint)")
     Term.(
-      const run $ jobs_term $ dir_arg $ warm_arg $ clear_arg $ device_arg)
+      const run $ common_term $ dir_arg $ warm_arg $ clear_arg $ device_arg)
 
 let cmd_fuzz =
   let module Campaign = Hlsb_fuzz.Campaign in
@@ -607,6 +744,14 @@ let cmd_fuzz =
     in
     print_string (Campaign.summary report);
     let snap = Metrics.snapshot registry in
+    if Ledger.enabled () then
+      append_ledger
+        (Ledger.make ~cache:(cache_counters snap)
+           ~metrics:(Metrics.to_json snap) ~cmd:"fuzz"
+           ~label:
+             (Printf.sprintf "seed=%d runs=%d failures=%d" seed runs
+                (List.length report.Campaign.rp_failures))
+           ());
     List.iter
       (fun (name, v) ->
         if String.starts_with ~prefix:"fuzz." name then
@@ -663,8 +808,194 @@ let cmd_fuzz =
           (stall vs skid, network conservation, compile cache, job-count \
           invariance), with greedy shrinking of failures")
     Term.(
-      const run $ jobs_term $ seed_arg $ runs_arg $ oracle_arg $ out_arg
+      const run $ common_term $ seed_arg $ runs_arg $ oracle_arg $ out_arg
       $ replay_arg)
+
+(* ---------------- the obs subcommand family ---------------- *)
+
+let cmd_obs =
+  let ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"PATH"
+          ~doc:
+            "Ledger file to read (default: \\$(b,HLSB_LEDGER), then \
+             .hlsb/ledger.jsonl).")
+  in
+  let ledger_path flag =
+    match flag with
+    | Some p -> p
+    | None -> Option.value ~default:Ledger.default_path (Ledger.ambient_path ())
+  in
+  let usage msg =
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  in
+  let load_runs path =
+    match Ledger.load ~path with
+    | Error msg -> usage msg
+    | Ok [] -> usage (Printf.sprintf "ledger %s has no runs" path)
+    | Ok runs -> runs
+  in
+  let resolve_run runs ref_ =
+    match Ledger.resolve runs ref_ with Ok r -> r | Error msg -> usage msg
+  in
+  (* A REF can also name a file — a JSONL ledger or a one-record JSON
+     file (ci/baseline-ledger.json); its newest record wins. *)
+  let run_of_ref ~runs ref_ =
+    if Sys.file_exists ref_ then
+      match Ledger.load ~path:ref_ with
+      | Ok (_ :: _ as rs) -> List.nth rs (List.length rs - 1)
+      | Ok [] -> usage (Printf.sprintf "%s holds no hlsb-run/1 records" ref_)
+      | Error msg -> usage msg
+    else resolve_run runs ref_
+  in
+  let run_arg =
+    Arg.(
+      value & pos 0 string "last"
+      & info [] ~docv:"RUN"
+          ~doc:
+            "last | a 1-based index from the oldest (negative counts from \
+             the newest) | a run-id prefix")
+  in
+  let cmd_report =
+    let run ledger ref_ top =
+      let runs = load_runs (ledger_path ledger) in
+      print_string (Obs_report.report ~top (run_of_ref ~runs ref_))
+    in
+    let top_arg =
+      Arg.(
+        value & opt int 12
+        & info [ "top" ] ~docv:"N"
+            ~doc:"How many metric counters/histograms to show.")
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Render one run record: stage timings, per-design Fmax, cache \
+            traffic, and metric quantiles (p50/p95/p99)")
+      Term.(const run $ ledger_arg $ run_arg $ top_arg)
+  in
+  let cmd_list_runs =
+    let run ledger =
+      let path = ledger_path ledger in
+      match Ledger.load ~path with
+      | Error msg -> usage msg
+      | Ok [] -> Printf.printf "ledger %s has no runs\n" path
+      | Ok runs ->
+        List.iteri
+          (fun i r ->
+            Printf.printf "%4d  %s\n" (i + 1) (Obs_report.summary_line r))
+          runs
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the ledger's runs, oldest first")
+      Term.(const run $ ledger_arg)
+  in
+  let cmd_diff =
+    let run ledger ref_a ref_b =
+      let runs = load_runs (ledger_path ledger) in
+      print_string
+        (Obs_report.diff (run_of_ref ~runs ref_a) (run_of_ref ~runs ref_b))
+    in
+    let a_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_A")
+    in
+    let b_arg =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"RUN_B")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Compare two runs stage by stage (timings, totals, Fmax)")
+      Term.(const run $ ledger_arg $ a_arg $ b_arg)
+  in
+  let cmd_regress =
+    let run ledger baseline_ref ref_ pct min_ms =
+      let path = ledger_path ledger in
+      let runs =
+        match Ledger.load ~path with Ok rs -> rs | Error msg -> usage msg
+      in
+      let baseline = run_of_ref ~runs baseline_ref in
+      let current = run_of_ref ~runs ref_ in
+      let v =
+        Obs_report.regress ~min_ms ~baseline ~current ~max_slowdown_pct:pct ()
+      in
+      print_string v.Obs_report.v_table;
+      if v.Obs_report.v_ok then
+        print_endline "OK: no regression beyond the threshold"
+      else begin
+        print_newline ();
+        List.iter
+          (fun m -> Printf.printf "REGRESSION: %s\n" m)
+          v.Obs_report.v_failures;
+        exit 1
+      end
+    in
+    let baseline_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "baseline" ] ~docv:"REF"
+            ~doc:
+              "Baseline run: a ledger reference or a file holding \
+               hlsb-run/1 record(s).")
+    in
+    let run_flag_arg =
+      Arg.(
+        value & opt string "last"
+        & info [ "run" ] ~docv:"REF"
+            ~doc:"Run under test (default: the newest ledger record).")
+    in
+    let pct_arg =
+      Arg.(
+        value & opt float 25.
+        & info [ "max-slowdown" ] ~docv:"PCT"
+            ~doc:
+              "Fail when any comparable stage (or the total) is more than \
+               $(docv) percent slower than the baseline, or a shared \
+               design's Fmax drops by more than the same margin.")
+    in
+    let min_ms_arg =
+      Arg.(
+        value & opt float 1.0
+        & info [ "min-ms" ] ~docv:"MS"
+            ~doc:
+              "Ignore stages whose baseline time is below $(docv) \
+               (sub-millisecond stages are timer noise).")
+    in
+    Cmd.v
+      (Cmd.info "regress"
+         ~doc:
+           "Perf-regression sentinel: exit 1 when the current run is more \
+            than --max-slowdown percent slower than the baseline (the CI \
+            gate)")
+      Term.(
+        const run $ ledger_arg $ baseline_arg $ run_flag_arg $ pct_arg
+        $ min_ms_arg)
+  in
+  let cmd_prom =
+    let run ledger ref_ =
+      let runs = load_runs (ledger_path ledger) in
+      let r = run_of_ref ~runs ref_ in
+      match Obs_report.snapshot_of_run r with
+      | None ->
+        usage
+          (Printf.sprintf "run %s carries no metrics snapshot" r.Ledger.r_id)
+      | Some snap -> print_string (Prom.of_snapshot snap)
+    in
+    Cmd.v
+      (Cmd.info "prom"
+         ~doc:
+           "Prometheus text-format exposition of a run's metrics snapshot")
+      Term.(const run $ ledger_arg $ run_arg)
+  in
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "The run ledger: list, report, diff, Prometheus export, and the \
+          perf-regression gate")
+    [ cmd_list_runs; cmd_report; cmd_diff; cmd_regress; cmd_prom ]
 
 let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
@@ -728,6 +1059,7 @@ let () =
             cmd_cc;
             cmd_emit;
             cmd_fuzz;
+            cmd_obs;
             cmd_table1;
             cmd_table2;
             cmd_table3;

@@ -16,6 +16,7 @@ module Trace = Hlsb_telemetry.Trace
 module Metrics = Hlsb_telemetry.Metrics
 module Clock = Hlsb_telemetry.Clock
 module Json = Hlsb_telemetry.Json
+module Log = Hlsb_obs.Log
 
 (* ---------------- stages ---------------- *)
 
@@ -206,7 +207,12 @@ let exec t ~recipe stage f =
     match f () with
     | v ->
       count ();
-      record t stage Ran (Clock.ns_to_ms (Int64.sub (Clock.now_ns ()) t0));
+      let ms = Clock.ns_to_ms (Int64.sub (Clock.now_ns ()) t0) in
+      record t stage Ran ms;
+      Log.debug
+        ~attrs:
+          [ ("stage", Json.Str name); ("design", Json.Str t.ss_name) ]
+        "stage %s: %.1f ms" name ms;
       v
     | exception e ->
       count ();
@@ -218,6 +224,10 @@ let exec t ~recipe stage f =
         | e -> raise e
       in
       t.ss_diags <- d :: t.ss_diags;
+      Log.error
+        ~attrs:
+          [ ("stage", Json.Str name); ("design", Json.Str t.ss_name) ]
+        "stage %s failed: %s" name (Diag.to_string d);
       raise (Diag.Diagnostic d)
   in
   if not (Trace.enabled ()) then body ()
@@ -232,6 +242,12 @@ let exec t ~recipe stage f =
 
 let cached t stage =
   Metrics.incr "pipeline.cache_hits";
+  Log.debug
+    ~attrs:
+      [
+        ("stage", Json.Str (stage_name stage)); ("design", Json.Str t.ss_name);
+      ]
+    "stage %s: cache hit" (stage_name stage);
   record t stage Cached 0.
 
 (* ---------------- cached upstream artifacts ---------------- *)

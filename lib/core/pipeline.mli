@@ -120,6 +120,10 @@ type stage_record = {
   sr_ms : float;  (** wall-clock of the stage body; 0 unless [Ran] *)
 }
 
+val status_label : status -> string
+(** ["ran"] | ["cached"] | ["skipped"] | ["FAILED"] — the spelling used
+    by {!explain} and by the run-ledger records. *)
+
 val last_run : session -> stage_record list
 (** Stage records of the most recent {!run}, in stage order. Stages the
     run never reached (or that only run on demand, like [classify]) are

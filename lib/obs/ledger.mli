@@ -1,0 +1,117 @@
+(** The persistent run ledger: one versioned [hlsb-run/1] JSON record
+    per compile / characterization / fuzz / bench invocation, appended
+    to an append-only JSONL file so runs from different processes (and
+    different days) can be compared, diffed, and gated on.
+
+    The ledger is the durable complement of [Hlsb_telemetry]: spans and
+    counters die with the process; the record assembled from them —
+    per-stage wall-clock from [Core.Pipeline.last_run], the full metrics
+    snapshot, cache hit/miss traffic, per-design Fmax — survives in
+    [.hlsb/ledger.jsonl] and feeds [hlsbc obs report|diff|regress].
+
+    Resolution of the ledger path: the [HLSB_LEDGER] environment
+    variable ([off] or the empty string disables the ledger entirely; a
+    path names the file), else [.hlsb/ledger.jsonl] under the current
+    directory. When disabled, callers are expected to skip record
+    assembly too ({!enabled}), so the compile path pays nothing.
+
+    Appends serialize under an advisory file lock and are written as a
+    single line each — the append-only analog of [Cal_cache]'s
+    write-then-rename discipline — so concurrent writers never
+    interleave records. Malformed lines (a torn write from a crashed
+    process, hand editing) are skipped on load, never fatal. *)
+
+module Json = Hlsb_telemetry.Json
+
+val schema : string
+(** ["hlsb-run/1"]. *)
+
+val env_var : string
+(** ["HLSB_LEDGER"]. *)
+
+type stage_ms = {
+  st_name : string;  (** pipeline stage or bench section name *)
+  st_status : string;  (** "ran" | "cached" | "skipped" | "FAILED" *)
+  st_ms : float;  (** wall-clock of the stage body; 0 unless ran *)
+}
+
+type run = {
+  r_id : string;  (** unique-enough: time + pid *)
+  r_time_s : float;  (** unix epoch seconds at assembly *)
+  r_cmd : string;  (** compile | cc | profile | fuzz | bench | ... *)
+  r_label : string;
+  r_git_rev : string option;  (** HEAD commit of the enclosing checkout *)
+  r_device : string option;
+  r_fingerprint : string option;  (** device timing-model fingerprint *)
+  r_recipe : string option;  (** recipe hash ([Style.label]) *)
+  r_jobs : int;
+  r_cores : int;
+  r_stages : stage_ms list;
+  r_results : Json.t list;  (** per-design compile result records *)
+  r_cache : (string * int) list;  (** cache hit/miss counters, sorted *)
+  r_metrics : Json.t option;  (** full [Metrics.to_json] snapshot *)
+}
+
+val make :
+  ?git_rev:string option ->
+  ?device:string ->
+  ?fingerprint:string ->
+  ?recipe:string ->
+  ?stages:stage_ms list ->
+  ?results:Json.t list ->
+  ?cache:(string * int) list ->
+  ?metrics:Json.t ->
+  cmd:string ->
+  label:string ->
+  unit ->
+  run
+(** Assemble a record: stamps the id and time, resolves the git rev from
+    the working directory (unless [?git_rev] overrides it), and fills
+    jobs/cores from the ambient pool configuration. *)
+
+val total_ms : run -> float
+(** Sum of the ["ran"] stages' wall-clock. *)
+
+val result_label : Json.t -> string
+val result_fmax : Json.t -> float option
+val result_critical_ns : Json.t -> float option
+(** Accessors into the per-design result records. *)
+
+val to_json : run -> Json.t
+val of_json : Json.t -> (run, string) result
+(** Tolerant parse: unknown fields are ignored; a wrong or missing
+    ["schema"] is an error. *)
+
+(** {1 The on-disk ledger} *)
+
+val enabled : unit -> bool
+(** False when [HLSB_LEDGER] is [off] or empty — callers skip record
+    assembly entirely, so a disabled ledger costs nothing. *)
+
+val ambient_path : unit -> string option
+(** The resolved ledger file, [None] when disabled. *)
+
+val default_path : string
+(** [".hlsb/ledger.jsonl"] — what [hlsbc obs] reads when [HLSB_LEDGER]
+    is unset or disabled and no [--ledger] flag is given. *)
+
+val append : ?path:string -> run -> (string, string) result
+(** Append one record (creating the directory and file as needed) and
+    return the path written. [Error] carries the system message; ledger
+    failures must never take a compile down, so callers log and move
+    on. [?path] overrides the ambient resolution (tests, [--ledger]). *)
+
+val load : path:string -> (run list, string) result
+(** All well-formed records, oldest first. Malformed lines are skipped.
+    A missing file is [Ok []]; an unreadable one is [Error]. *)
+
+val git_rev : unit -> string option
+(** HEAD commit hash of the checkout enclosing the current directory
+    (plain read of [.git], no subprocess). *)
+
+val resolve : run list -> string -> (run, string) result
+(** Resolve a run reference against a ledger, for the CLI: ["last"] or
+    [-1] is the newest record, [-2] the one before, ["last~1"] a
+    dash-free spelling of [-2] (so it parses as a positional argument),
+    [1] the oldest, and any other string matches by id prefix
+    (ambiguity is an error). *)

@@ -277,12 +277,20 @@ let diff ~before ~after =
       (fun (k, (h : hist_snap)) ->
         match List.assoc_opt k before.sn_hists with
         | Some h0 when Array.length h0.hs_buckets = Array.length h.hs_buckets ->
+          let count = h.hs_count - h0.hs_count in
+          (* min/max are running extrema, not interval data: when the
+             interval added no samples they are whatever [before] left
+             behind, so report the interval's (empty) extrema instead of
+             stale values masquerading as fresh ones. *)
+          let mn, mx = if count = 0 then (nan, nan) else (h.hs_min, h.hs_max) in
           ( k,
             {
               h with
               hs_counts = Array.mapi (fun i c -> c - h0.hs_counts.(i)) h.hs_counts;
-              hs_count = h.hs_count - h0.hs_count;
+              hs_count = count;
               hs_sum = h.hs_sum -. h0.hs_sum;
+              hs_min = mn;
+              hs_max = mx;
             } )
         | _ -> (k, h))
       after.sn_hists
@@ -290,6 +298,40 @@ let diff ~before ~after =
   { sn_counters = counters; sn_gauges = after.sn_gauges; sn_hists = hists }
 
 let hist_mean h = if h.hs_count = 0 then nan else h.hs_sum /. float_of_int h.hs_count
+
+(* Quantile estimation from bucket counts: find the bucket holding the
+   target rank, then interpolate linearly inside it. Bucket edges are
+   clamped by the observed extrema, so a histogram whose samples all sit
+   in one bucket still reports quantiles inside [min, max], and the
+   overflow bucket (no upper bound) uses [hs_max] as its upper edge. *)
+let quantile h p =
+  if h.hs_count = 0 || Float.is_nan p then nan
+  else if p <= 0. then h.hs_min
+  else if p >= 1. then h.hs_max
+  else begin
+    let n = Array.length h.hs_buckets in
+    let target = p *. float_of_int h.hs_count in
+    let rec go i cum =
+      if i > n then h.hs_max
+      else
+        let c = h.hs_counts.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= target then begin
+          let lo =
+            let edge = if i = 0 then neg_infinity else h.hs_buckets.(i - 1) in
+            Float.max edge h.hs_min
+          in
+          let hi =
+            let edge = if i = n then infinity else h.hs_buckets.(i) in
+            Float.min edge h.hs_max
+          in
+          let frac = (target -. float_of_int cum) /. float_of_int c in
+          lo +. (frac *. (hi -. lo))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
 
 let hist_to_json (h : hist_snap) =
   Json.Obj

@@ -94,12 +94,26 @@ type snapshot = {
 val snapshot : t -> snapshot
 
 val diff : before:snapshot -> after:snapshot -> snapshot
-(** Counters and histogram counts/sums subtract; gauges and histogram
-    min/max are taken from [after]. Entries only in [after] pass
-    through; entries only in [before] are dropped. *)
+(** Counters and histogram counts/sums subtract; gauges are taken from
+    [after]. Histogram min/max are taken from [after] when the interval
+    added at least one sample — they are running extrema, so they may
+    still predate the interval — and are [nan] when the count delta is
+    zero (no samples in the interval means no extrema, not stale ones).
+    Entries only in [after] pass through; entries only in [before] are
+    dropped. *)
 
 val hist_mean : hist_snap -> float
 (** nan when empty. *)
+
+val quantile : hist_snap -> float -> float
+(** [quantile h p] estimates the [p]-quantile ([0. <= p <= 1.]) from the
+    bucket counts: the bucket containing rank [p * count] is found and
+    the value is interpolated linearly inside it, with bucket edges
+    clamped to the observed [hs_min]/[hs_max] (the overflow bucket uses
+    [hs_max] as its upper edge). [p <= 0.] returns [hs_min], [p >= 1.]
+    returns [hs_max]; nan when the histogram is empty. Exact whenever
+    samples are uniformly spread inside their buckets; always within the
+    containing bucket's clamped bounds. *)
 
 val to_json : snapshot -> Json.t
 val render : snapshot -> string

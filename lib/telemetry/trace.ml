@@ -6,11 +6,13 @@ type span = {
   sp_attrs : (string * value) list;
   sp_parent : int;
   sp_depth : int;
+  sp_tid : int;
   sp_start_ns : int64;
   sp_stop_ns : int64;
 }
 
-(* Open spans live on a stack; closing moves them to [done_rev]. *)
+(* Open spans live on a per-domain stack; closing moves them to the
+   shard's done list. *)
 type open_span = {
   os_id : int;
   os_name : string;
@@ -20,41 +22,91 @@ type open_span = {
   os_start_ns : int64;
 }
 
-type t = {
-  mutable next_id : int;
-  mutable stack : open_span list;
-  mutable done_rev : span list;
+(* Each domain records into a private shard, exactly like [Metrics]:
+   span recording in a pool worker touches only that worker's stack, so
+   parallel characterization never races on the collector, and each
+   shard becomes its own Perfetto track ([sp_tid]). Parentage is
+   per-domain: a span opened on a worker is a root of that worker's
+   track, not a child of whatever the main domain had open. *)
+type shard = {
+  sh_tid : int;
+  mutable sh_stack : open_span list;
+  mutable sh_done : span list;  (* reversed *)
 }
 
-let create () = { next_id = 0; stack = []; done_rev = [] }
+type t = {
+  tr_next : int Atomic.t;  (* span ids unique across domains *)
+  tr_lock : Mutex.t;
+  (* (domain id, shard), shard-creation order; guarded by [tr_lock]. *)
+  mutable tr_shards : (int * shard) list;
+  tr_owner : int;  (* domain that created the collector *)
+}
 
-(* The installed collector is domain-local: spans record only on the domain
-   that installed it, so tasks running on pool worker domains (Hlsb_util.Pool)
-   see no collector and cannot race on the span stack. *)
-let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let create () =
+  {
+    tr_next = Atomic.make 0;
+    tr_lock = Mutex.create ();
+    tr_shards = [];
+    tr_owner = (Domain.self () :> int);
+  }
 
-let install t = Domain.DLS.set current (Some t)
-let uninstall () = Domain.DLS.set current None
-let installed () = Domain.DLS.get current
-let enabled () = Domain.DLS.get current <> None
+let locked t f =
+  Mutex.lock t.tr_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.tr_lock) f
+
+(* Process-global, like [Metrics.current]: pool worker domains must see
+   the collector the main domain installed or every span recorded inside
+   a parallel region is silently dropped (parallel characterization was
+   invisible in traces in exactly that way before). Reads happen at
+   quiescent points — every [Pool.map] joins its workers — so merged
+   reads are safe. *)
+let current : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set current (Some t)
+let uninstall () = Atomic.set current None
+let installed () = Atomic.get current
+let enabled () = Atomic.get current <> None
 
 let with_collector t f =
-  let prev = Domain.DLS.get current in
-  Domain.DLS.set current (Some t);
-  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
+  let prev = Atomic.get current in
+  Atomic.set current (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f
+
+(* Fast path: one DLS read and a physical-equality check (same shape as
+   [Metrics.get_shard]). *)
+let shard_cache : (t * shard) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let get_shard t =
+  match Domain.DLS.get shard_cache with
+  | Some (t', s) when t' == t -> s
+  | _ ->
+    let id = (Domain.self () :> int) in
+    let s =
+      locked t (fun () ->
+        match List.assoc_opt id t.tr_shards with
+        | Some s -> s
+        | None ->
+          let s = { sh_tid = id; sh_stack = []; sh_done = [] } in
+          t.tr_shards <- t.tr_shards @ [ (id, s) ];
+          s)
+    in
+    Domain.DLS.set shard_cache (Some (t, s));
+    s
 
 let with_span ?attrs name f =
-  match Domain.DLS.get current with
+  match Atomic.get current with
   | None -> f ()
   | Some t ->
+    let sh = get_shard t in
     let parent, depth =
-      match t.stack with
+      match sh.sh_stack with
       | [] -> (-1, 0)
       | p :: _ -> (p.os_id, p.os_depth + 1)
     in
     let os =
       {
-        os_id = t.next_id;
+        os_id = Atomic.fetch_and_add t.tr_next 1;
         os_name = name;
         os_attrs = (match attrs with Some a -> a | None -> []);
         os_parent = parent;
@@ -62,12 +114,11 @@ let with_span ?attrs name f =
         os_start_ns = Clock.now_ns ();
       }
     in
-    t.next_id <- t.next_id + 1;
-    t.stack <- os :: t.stack;
+    sh.sh_stack <- os :: sh.sh_stack;
     let close () =
       let stop = Clock.now_ns () in
-      (match t.stack with
-      | top :: rest when top.os_id = os.os_id -> t.stack <- rest
+      (match sh.sh_stack with
+      | top :: rest when top.os_id = os.os_id -> sh.sh_stack <- rest
       | _ ->
         (* A nested span leaked past its parent (should be impossible
            with [with_span]); drop everything above us. *)
@@ -76,62 +127,105 @@ let with_span ?attrs name f =
           | top :: rest when top.os_id = os.os_id -> rest
           | l -> l
         in
-        t.stack <- unwind t.stack);
-      t.done_rev <-
+        sh.sh_stack <- unwind sh.sh_stack);
+      sh.sh_done <-
         {
           sp_id = os.os_id;
           sp_name = os.os_name;
           sp_attrs = os.os_attrs;
           sp_parent = os.os_parent;
           sp_depth = os.os_depth;
+          sp_tid = sh.sh_tid;
           sp_start_ns = os.os_start_ns;
           sp_stop_ns = stop;
         }
-        :: t.done_rev
+        :: sh.sh_done
     in
     Fun.protect ~finally:close f
 
 let add_attr key v =
-  match Domain.DLS.get current with
+  match Atomic.get current with
   | None -> ()
   | Some t -> (
-    match t.stack with
+    let sh = get_shard t in
+    match sh.sh_stack with
     | [] -> ()
     | top :: _ -> top.os_attrs <- (key, v) :: top.os_attrs)
+
+let current_span_id () =
+  match Atomic.get current with
+  | None -> None
+  | Some t -> (
+    (* Peek only: a domain with an open span necessarily has its shard
+       cached; do not create one just to answer "no span open". *)
+    match Domain.DLS.get shard_cache with
+    | Some (t', s) when t' == t -> (
+      match s.sh_stack with [] -> None | os :: _ -> Some os.os_id)
+    | _ -> None)
+
+let all_done t =
+  locked t (fun () ->
+    List.concat_map (fun (_, sh) -> sh.sh_done) t.tr_shards)
 
 let spans t =
   List.sort
     (fun a b -> compare (a.sp_start_ns, a.sp_id) (b.sp_start_ns, b.sp_id))
-    t.done_rev
+    (all_done t)
 
 let find t name = List.filter (fun s -> s.sp_name = name) (spans t)
 
 let duration_ns s = Int64.sub s.sp_stop_ns s.sp_start_ns
 let duration_ms s = Clock.ns_to_ms (duration_ns s)
 
+(* Only the owning domain's roots: worker-side spans overlap the owner's
+   enclosing region, so adding them would double-count wall-clock. *)
 let total_ns t =
   List.fold_left
-    (fun acc s -> if s.sp_parent = -1 then Int64.add acc (duration_ns s) else acc)
+    (fun acc s ->
+      if s.sp_parent = -1 && s.sp_tid = t.tr_owner then
+        Int64.add acc (duration_ns s)
+      else acc)
     0L (spans t)
 
 let epoch t =
   List.fold_left
     (fun acc s -> if s.sp_start_ns < acc then s.sp_start_ns else acc)
-    Int64.max_int t.done_rev
+    Int64.max_int (all_done t)
 
 let to_chrome_json ?(process_name = "hlsb") t =
   let ss = spans t in
   let t0 = epoch t in
   let rel ns = Clock.ns_to_us (Int64.sub ns t0) in
-  let meta =
+  let meta_process =
     Json.Obj
       [
         ("name", Json.Str "process_name");
         ("ph", Json.Str "M");
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int t.tr_owner);
         ("args", Json.Obj [ ("name", Json.Str process_name) ]);
       ]
+  in
+  (* One thread_name record per domain that recorded spans, so parallel
+     characterization renders as parallel named tracks in Perfetto. *)
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.sp_tid) ss)
+  in
+  let meta_threads =
+    List.map
+      (fun tid ->
+        let name =
+          if tid = t.tr_owner then "main" else Printf.sprintf "domain %d" tid
+        in
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.Str name) ]);
+          ])
+      tids
   in
   let events =
     List.map
@@ -144,19 +238,20 @@ let to_chrome_json ?(process_name = "hlsb") t =
             ("ts", Json.Float (rel s.sp_start_ns));
             ("dur", Json.Float (Clock.ns_to_us (duration_ns s)));
             ("pid", Json.Int 1);
-            ("tid", Json.Int 1);
+            ("tid", Json.Int s.sp_tid);
             ("args", Json.Obj s.sp_attrs);
           ])
       ss
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (meta :: events));
+      ("traceEvents", Json.List ((meta_process :: meta_threads) @ events));
       ("displayTimeUnit", Json.Str "ms");
     ]
 
 let render t =
   let buf = Buffer.create 256 in
+  let owner_only = List.for_all (fun s -> s.sp_tid = t.tr_owner) (spans t) in
   List.iter
     (fun s ->
       let attrs =
@@ -168,10 +263,14 @@ let render t =
               (List.map (fun (k, v) -> k ^ "=" ^ Json.to_string v) a)
           ^ "]"
       in
+      let tid =
+        if owner_only || s.sp_tid = t.tr_owner then ""
+        else Printf.sprintf " @d%d" s.sp_tid
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%s%-*s %9.2f ms%s\n"
+        (Printf.sprintf "%s%-*s %9.2f ms%s%s\n"
            (String.make (2 * s.sp_depth) ' ')
            (32 - (2 * s.sp_depth))
-           s.sp_name (duration_ms s) attrs))
+           s.sp_name (duration_ms s) attrs tid))
     (spans t);
   Buffer.contents buf

@@ -1,0 +1,400 @@
+(* Observability subsystem tests: histogram quantile estimation,
+   Prometheus exposition shape, structured-log filtering and JSONL
+   record shape, ledger codec round-trips and append/load (including
+   concurrent writers racing on one file), run references, and the
+   perf-regression verdict in both directions. *)
+
+module Json = Hlsb_telemetry.Json
+module Metrics = Hlsb_telemetry.Metrics
+module Log = Hlsb_obs.Log
+module Ledger = Hlsb_obs.Ledger
+module Prom = Hlsb_obs.Prom
+module Report = Hlsb_obs.Report
+module Pool = Hlsb_util.Pool
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let with_registry f =
+  let m = Metrics.create () in
+  Metrics.with_registry m f;
+  m
+
+(* ---- Metrics.quantile ---- *)
+
+let test_quantile_uniform () =
+  (* 100 samples 1..100 over decade buckets: samples are uniform inside
+     every bucket, so linear interpolation is exact. *)
+  let buckets = Array.init 10 (fun i -> 10. *. float_of_int (i + 1)) in
+  let m =
+    with_registry (fun () ->
+      for v = 1 to 100 do
+        Metrics.observe ~buckets "u" (float_of_int v)
+      done)
+  in
+  let h = List.assoc "u" (Metrics.snapshot m).Metrics.sn_hists in
+  Alcotest.(check (float 1e-9)) "p50" 50. (Metrics.quantile h 0.50);
+  Alcotest.(check (float 1e-9)) "p95" 95. (Metrics.quantile h 0.95);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Metrics.quantile h 0.99);
+  Alcotest.(check (float 0.)) "p<=0 is min" 1. (Metrics.quantile h 0.);
+  Alcotest.(check (float 0.)) "p>=1 is max" 100. (Metrics.quantile h 1.)
+
+let test_quantile_overflow_bucket () =
+  (* Samples 5, 15, 20 with a single bucket edge at 10: ranks above the
+     edge land in the overflow bucket, whose upper edge clamps to
+     hs_max. p=0.9 -> target rank 2.7, 1.7 of the overflow bucket's 2
+     samples: 10 + 0.85 * (20 - 10) = 18.5. *)
+  let m =
+    with_registry (fun () ->
+      List.iter (Metrics.observe ~buckets:[| 10. |] "o") [ 5.; 15.; 20. ])
+  in
+  let h = List.assoc "o" (Metrics.snapshot m).Metrics.sn_hists in
+  Alcotest.(check (float 1e-9)) "p90 in overflow bucket" 18.5
+    (Metrics.quantile h 0.9);
+  Alcotest.(check (float 0.)) "p100 clamps to observed max" 20.
+    (Metrics.quantile h 1.0);
+  Alcotest.(check (float 0.)) "p0 clamps to observed min" 5.
+    (Metrics.quantile h 0.)
+
+let test_quantile_degenerate () =
+  let empty =
+    {
+      Metrics.hs_buckets = [| 1. |];
+      hs_counts = [| 0; 0 |];
+      hs_count = 0;
+      hs_sum = 0.;
+      hs_min = nan;
+      hs_max = nan;
+    }
+  in
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Metrics.quantile empty 0.5));
+  let m = with_registry (fun () -> Metrics.observe ~buckets:[| 8. |] "s" 3.) in
+  let h = List.assoc "s" (Metrics.snapshot m).Metrics.sn_hists in
+  Alcotest.(check bool) "nan p is nan" true
+    (Float.is_nan (Metrics.quantile h nan));
+  (* single sample: every quantile collapses to it via the min/max clamp *)
+  Alcotest.(check (float 0.)) "single sample p50" 3. (Metrics.quantile h 0.5)
+
+(* ---- Prometheus exposition ---- *)
+
+let test_prom_exposition () =
+  let m =
+    with_registry (fun () ->
+      Metrics.incr ~by:3 "sched.registers_inserted";
+      Metrics.set_gauge "flow.fmax-mhz" 2.5;
+      List.iter (Metrics.observe ~buckets:[| 1.; 2. |] "h.ms") [ 0.5; 1.5; 5. ])
+  in
+  let text = Prom.of_snapshot (Metrics.snapshot m) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition has " ^ needle) true
+        (contains ~needle text))
+    [
+      "# TYPE hlsb_sched_registers_inserted counter";
+      "hlsb_sched_registers_inserted 3";
+      "# TYPE hlsb_flow_fmax_mhz gauge";
+      "hlsb_flow_fmax_mhz 2.5";
+      "# TYPE hlsb_h_ms histogram";
+      "hlsb_h_ms_bucket{le=\"1\"} 1";
+      "hlsb_h_ms_bucket{le=\"2\"} 2";
+      "hlsb_h_ms_bucket{le=\"+Inf\"} 3";
+      "hlsb_h_ms_count 3";
+    ];
+  Alcotest.(check string) "name sanitization" "hlsb_a_b_c"
+    (Prom.metric_name "a.b-c")
+
+(* ---- Log ---- *)
+
+(* Tests drive the log through an in-memory sink; always restore the
+   stderr sink and the default threshold, also on failure. *)
+let with_captured_log f =
+  let lines = ref [] in
+  Log.set_sink (fun l -> lines := l :: !lines);
+  let prev = Log.current_level () in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.reset_sink ();
+      Log.set_level prev;
+      Log.set_format Log.Text)
+    (fun () -> f lines)
+
+let test_log_filtering () =
+  with_captured_log (fun lines ->
+    Log.set_format Log.Text;
+    Log.set_level Log.Warn;
+    Log.debug "dropped %d" 1;
+    Log.info "dropped too";
+    Log.warn "kept %s" "w";
+    Log.error "kept e";
+    Alcotest.(check int) "below threshold dropped" 2 (List.length !lines);
+    Alcotest.(check bool) "text record shape" true
+      (contains ~needle:"hlsb warn" (List.nth !lines 1)
+      && contains ~needle:"kept w" (List.nth !lines 1));
+    Alcotest.(check bool) "would_log above" true (Log.would_log Log.Error);
+    Alcotest.(check bool) "would_log below" false (Log.would_log Log.Info);
+    Log.set_level Log.Off;
+    Log.error "never";
+    Alcotest.(check int) "off drops errors" 2 (List.length !lines);
+    Log.set_level Log.Debug;
+    Log.debug "now";
+    Alcotest.(check int) "debug passes at debug" 3 (List.length !lines))
+
+let test_log_jsonl_shape () =
+  with_captured_log (fun lines ->
+    Log.set_level Log.Info;
+    Log.set_format Log.Jsonl;
+    Log.info ~attrs:[ ("stage", Json.Str "sta") ] "stage %s done" "sta";
+    match !lines with
+    | [ line ] -> (
+      match Json.of_string line with
+      | Error e -> Alcotest.fail e
+      | Ok j ->
+        Alcotest.(check bool) "level" true
+          (Json.member "level" j = Some (Json.Str "info"));
+        Alcotest.(check bool) "formatted msg" true
+          (Json.member "msg" j = Some (Json.Str "stage sta done"));
+        Alcotest.(check bool) "attr merged" true
+          (Json.member "stage" j = Some (Json.Str "sta"));
+        Alcotest.(check bool) "ts float" true
+          (match Json.member "ts" j with Some (Json.Float _) -> true | _ -> false);
+        Alcotest.(check bool) "tid int" true
+          (match Json.member "tid" j with Some (Json.Int _) -> true | _ -> false);
+        Alcotest.(check bool) "no open span" true
+          (Json.member "span" j = Some Json.Null))
+    | l -> Alcotest.fail (Printf.sprintf "%d records" (List.length l)))
+
+let test_log_parse_spec () =
+  Alcotest.(check bool) "level and format" true
+    (Log.parse_spec "debug,json" = Ok (Some Log.Debug, Some Log.Jsonl));
+  Alcotest.(check bool) "format alone" true
+    (Log.parse_spec "json" = Ok (None, Some Log.Jsonl));
+  Alcotest.(check bool) "level alone" true
+    (Log.parse_spec "error" = Ok (Some Log.Error, None));
+  Alcotest.(check bool) "empty spec" true (Log.parse_spec "" = Ok (None, None));
+  match Log.parse_spec "verbose" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown level accepted"
+
+(* ---- Ledger ---- *)
+
+let sample_run ?(cmd = "compile") ?(label = "t") ?(ms = 10.) () =
+  Ledger.make ~git_rev:(Some "deadbeef") ~device:"xcvu9p" ~fingerprint:"fp"
+    ~recipe:"aware/skid-min/pruned"
+    ~stages:
+      [
+        { Ledger.st_name = "schedule"; st_status = "ran"; st_ms = ms };
+        { Ledger.st_name = "classify"; st_status = "skipped"; st_ms = 0. };
+      ]
+    ~results:
+      [
+        Json.Obj
+          [ ("label", Json.Str "d [opt]"); ("fmax_mhz", Json.Float 400.) ];
+      ]
+    ~cache:[ ("pipeline.cache_hits", 3) ]
+    ~metrics:(Json.Obj [ ("counters", Json.Obj [ ("c", Json.Int 1) ]) ])
+    ~cmd ~label ()
+
+let test_ledger_codec_roundtrip () =
+  let r = sample_run () in
+  (match Ledger.of_json (Ledger.to_json r) with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+    Alcotest.(check string) "id" r.Ledger.r_id r'.Ledger.r_id;
+    Alcotest.(check string) "cmd" "compile" r'.Ledger.r_cmd;
+    Alcotest.(check bool) "git rev" true (r'.Ledger.r_git_rev = Some "deadbeef");
+    Alcotest.(check bool) "recipe" true
+      (r'.Ledger.r_recipe = Some "aware/skid-min/pruned");
+    Alcotest.(check int) "stages" 2 (List.length r'.Ledger.r_stages);
+    Alcotest.(check (float 1e-9)) "total counts only ran stages" 10.
+      (Ledger.total_ms r');
+    Alcotest.(check bool) "fmax accessor" true
+      (Ledger.result_fmax (List.hd r'.Ledger.r_results) = Some 400.);
+    Alcotest.(check bool) "cache counters" true
+      (r'.Ledger.r_cache = [ ("pipeline.cache_hits", 3) ]);
+    Alcotest.(check bool) "metrics payload" true (r'.Ledger.r_metrics <> None));
+  match Ledger.of_json (Json.Obj [ ("schema", Json.Str "hlsb-run/999") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+
+let tmp_ledger () =
+  let path = Filename.temp_file "hlsb_ledger" ".jsonl" in
+  Sys.remove path;
+  path
+
+let with_tmp_ledger f =
+  let path = tmp_ledger () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_ledger_append_load () =
+  with_tmp_ledger (fun path ->
+    (match Ledger.load ~path with
+    | Ok [] -> ()
+    | _ -> Alcotest.fail "missing file should load as empty");
+    List.iter
+      (fun label ->
+        match Ledger.append ~path (sample_run ~label ()) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail e)
+      [ "a"; "b" ];
+    (* a torn line (crashed writer) is skipped, never fatal *)
+    let oc = open_out_gen [ Open_append ] 0o644 path in
+    output_string oc "{\"schema\":\"hlsb-run/1\",\"id\":\"torn";
+    close_out oc;
+    match Ledger.load ~path with
+    | Ok [ ra; rb ] ->
+      Alcotest.(check string) "oldest first" "a" ra.Ledger.r_label;
+      Alcotest.(check string) "newest last" "b" rb.Ledger.r_label
+    | Ok l -> Alcotest.fail (Printf.sprintf "got %d records" (List.length l))
+    | Error e -> Alcotest.fail e)
+
+let test_ledger_concurrent_append () =
+  (* 100 appends racing from 4 pool worker domains: every record must
+     come back whole — no torn or interleaved lines. *)
+  with_tmp_ledger (fun path ->
+    Pool.iter ~jobs:4
+      (fun i ->
+        match Ledger.append ~path (sample_run ~label:(string_of_int i) ()) with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+      (Array.init 100 Fun.id);
+    match Ledger.load ~path with
+    | Error e -> Alcotest.fail e
+    | Ok runs ->
+      Alcotest.(check int) "all records intact" 100 (List.length runs);
+      let labels =
+        List.sort_uniq compare (List.map (fun r -> r.Ledger.r_label) runs)
+      in
+      Alcotest.(check int) "every append distinct" 100 (List.length labels))
+
+let test_ledger_resolve () =
+  let named id label = { (sample_run ~label ()) with Ledger.r_id = id } in
+  let runs =
+    [ named "run-aa" "a"; named "run-ab" "b"; named "other-x" "c" ]
+  in
+  let label_of = function
+    | Ok r -> r.Ledger.r_label
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "last" "c" (label_of (Ledger.resolve runs "last"));
+  Alcotest.(check string) "1-based from oldest" "a"
+    (label_of (Ledger.resolve runs "1"));
+  Alcotest.(check string) "negative from newest" "b"
+    (label_of (Ledger.resolve runs "-2"));
+  Alcotest.(check string) "last~0 is last" "c"
+    (label_of (Ledger.resolve runs "last~0"));
+  Alcotest.(check string) "last~1 steps back" "b"
+    (label_of (Ledger.resolve runs "last~1"));
+  (match Ledger.resolve runs "last~3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range last~N accepted");
+  Alcotest.(check string) "unique id prefix" "c"
+    (label_of (Ledger.resolve runs "other"));
+  (match Ledger.resolve runs "run-a" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ambiguous prefix accepted");
+  (match Ledger.resolve runs "99" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range index accepted");
+  match Ledger.resolve [] "last" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty ledger resolved"
+
+(* ---- Report.regress ---- *)
+
+let stage n ms = { Ledger.st_name = n; st_status = "ran"; st_ms = ms }
+
+let run_with ?(fmax = 400.) stages =
+  {
+    (sample_run ()) with
+    Ledger.r_stages = stages;
+    r_results =
+      [ Json.Obj [ ("label", Json.Str "d"); ("fmax_mhz", Json.Float fmax) ] ];
+  }
+
+let test_regress_verdicts () =
+  let base = run_with [ stage "schedule" 100.; stage "place" 50.; stage "tiny" 0.4 ] in
+  let near = run_with [ stage "schedule" 104.; stage "place" 51.; stage "tiny" 4. ] in
+  let v = Report.regress ~baseline:base ~current:near ~max_slowdown_pct:25. () in
+  Alcotest.(check bool) "within threshold passes" true v.Report.v_ok;
+  Alcotest.(check bool) "table renders every stage" true
+    (contains ~needle:"schedule" v.Report.v_table
+    && contains ~needle:"total" v.Report.v_table);
+  (* the tiny stage blew up 10x but sits under min_ms in the baseline *)
+  Alcotest.(check bool) "sub-min_ms stage ignored" true
+    (contains ~needle:"ignored" v.Report.v_table);
+  let slow = run_with [ stage "schedule" 210.; stage "place" 50.; stage "tiny" 0.4 ] in
+  let v = Report.regress ~baseline:base ~current:slow ~max_slowdown_pct:25. () in
+  Alcotest.(check bool) "2x stage fails" false v.Report.v_ok;
+  Alcotest.(check bool) "failure names the stage" true
+    (List.exists (contains ~needle:"schedule") v.Report.v_failures);
+  (* the acceptance scenario: a doctored baseline that claims everything
+     used to run twice as fast must trip the gate... *)
+  let doctored =
+    run_with
+      (List.map
+         (fun s -> { s with Ledger.st_ms = s.Ledger.st_ms /. 2. })
+         base.Ledger.r_stages)
+  in
+  let v = Report.regress ~baseline:doctored ~current:base ~max_slowdown_pct:25. () in
+  Alcotest.(check bool) "doctored 2x baseline fails" false v.Report.v_ok;
+  (* ...but a generous CI threshold tolerates the same 2x *)
+  let v = Report.regress ~baseline:doctored ~current:base ~max_slowdown_pct:400. () in
+  Alcotest.(check bool) "generous threshold passes" true v.Report.v_ok;
+  (* Fmax is gated too: timing-quality drops are regressions even when
+     the compile got no slower *)
+  let low_fmax = run_with ~fmax:250. base.Ledger.r_stages in
+  let v = Report.regress ~baseline:base ~current:low_fmax ~max_slowdown_pct:25. () in
+  Alcotest.(check bool) "fmax drop fails" false v.Report.v_ok;
+  Alcotest.(check bool) "failure names fmax" true
+    (List.exists (contains ~needle:"fmax") v.Report.v_failures);
+  (* disjoint runs (e.g. a fuzz record vs a compile baseline) must not
+     produce a vacuous OK *)
+  let disjoint = run_with [ stage "mutate" 5. ] in
+  let v = Report.regress ~baseline:base ~current:disjoint ~max_slowdown_pct:25. () in
+  Alcotest.(check bool) "disjoint runs fail" false v.Report.v_ok;
+  Alcotest.(check bool) "failure says not comparable" true
+    (List.exists (contains ~needle:"no stage ran in both") v.Report.v_failures)
+
+let test_report_renders () =
+  let r = sample_run () in
+  let text = Report.report r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report has " ^ needle) true
+        (contains ~needle text))
+    [ r.Ledger.r_id; "schedule"; "400.0 MHz"; "xcvu9p"; "pipeline.cache_hits" ];
+  Alcotest.(check bool) "summary line has cmd" true
+    (contains ~needle:"compile" (Report.summary_line r));
+  let d = Report.diff (sample_run ~ms:10. ()) (sample_run ~ms:20. ()) in
+  Alcotest.(check bool) "diff has ratio" true (contains ~needle:"2.00x" d);
+  match Report.snapshot_of_run r with
+  | Some snap ->
+    Alcotest.(check bool) "snapshot rebuilt from record" true
+      (snap.Metrics.sn_counters = [ ("c", 1) ])
+  | None -> Alcotest.fail "metrics snapshot missing"
+
+let suite =
+  [
+    Alcotest.test_case "quantile uniform buckets" `Quick test_quantile_uniform;
+    Alcotest.test_case "quantile overflow bucket" `Quick
+      test_quantile_overflow_bucket;
+    Alcotest.test_case "quantile degenerate inputs" `Quick
+      test_quantile_degenerate;
+    Alcotest.test_case "prometheus exposition" `Quick test_prom_exposition;
+    Alcotest.test_case "log level filtering" `Quick test_log_filtering;
+    Alcotest.test_case "log jsonl record shape" `Quick test_log_jsonl_shape;
+    Alcotest.test_case "log spec parsing" `Quick test_log_parse_spec;
+    Alcotest.test_case "ledger codec round-trip" `Quick
+      test_ledger_codec_roundtrip;
+    Alcotest.test_case "ledger append/load" `Quick test_ledger_append_load;
+    Alcotest.test_case "ledger concurrent writers" `Quick
+      test_ledger_concurrent_append;
+    Alcotest.test_case "ledger run references" `Quick test_ledger_resolve;
+    Alcotest.test_case "regress verdicts" `Quick test_regress_verdicts;
+    Alcotest.test_case "report rendering" `Quick test_report_renders;
+  ]

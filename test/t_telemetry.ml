@@ -137,15 +137,16 @@ let test_chrome_export_shape () =
     in
     match Json.member "traceEvents" j with
     | Some (Json.List events) ->
-      (* one metadata record plus one complete event per span *)
-      Alcotest.(check int) "event count" 3 (List.length events);
+      (* process_name + one thread_name per domain, then one complete
+         event per span *)
+      Alcotest.(check int) "event count" 4 (List.length events);
       let phases =
         List.filter_map
           (fun e ->
             match Json.member "ph" e with Some (Json.Str p) -> Some p | _ -> None)
           events
       in
-      Alcotest.(check (list string)) "phases" [ "M"; "X"; "X" ] phases;
+      Alcotest.(check (list string)) "phases" [ "M"; "M"; "X"; "X" ] phases;
       List.iter
         (fun e ->
           match (Json.member "ts" e, Json.member "dur" e) with
@@ -316,6 +317,74 @@ let test_sim_occupancy_series () =
       h.Metrics.hs_count;
     Alcotest.(check bool) "max within skid depth" true (h.Metrics.hs_max <= 5.)
 
+let test_diff_empty_interval_minmax () =
+  (* Histogram min/max are running extrema; an interval that added no
+     samples has no extrema, so diff must report nan, not stale values. *)
+  let m = Metrics.create () in
+  Metrics.with_registry m (fun () -> Metrics.observe_int "h" 4);
+  let before = Metrics.snapshot m in
+  Metrics.with_registry m (fun () -> Metrics.incr "c");
+  let after = Metrics.snapshot m in
+  let d = Metrics.diff ~before ~after in
+  let h = List.assoc "h" d.Metrics.sn_hists in
+  Alcotest.(check int) "no samples in interval" 0 h.Metrics.hs_count;
+  Alcotest.(check bool) "min is nan" true (Float.is_nan h.Metrics.hs_min);
+  Alcotest.(check bool) "max is nan" true (Float.is_nan h.Metrics.hs_max);
+  (* an interval that did sample keeps real extrema *)
+  Metrics.with_registry m (fun () -> Metrics.observe_int "h" 9);
+  let d = Metrics.diff ~before ~after:(Metrics.snapshot m) in
+  let h = List.assoc "h" d.Metrics.sn_hists in
+  Alcotest.(check int) "one new sample" 1 h.Metrics.hs_count;
+  Alcotest.(check bool) "extrema kept" true (not (Float.is_nan h.Metrics.hs_max))
+
+let test_trace_domain_safety () =
+  (* Installation is process-wide: a span recorded inside a spawned
+     domain lands in that domain's shard, carries its domain id, and is
+     a root of its own track (parentage never crosses domains). *)
+  let t = Trace.create () in
+  Trace.with_collector t (fun () ->
+    Trace.with_span "main_root" (fun () ->
+      Domain.join
+        (Domain.spawn (fun () ->
+           Trace.with_span "worker_span" (fun () ->
+             Trace.with_span "worker_child" (fun () -> ()))))));
+  let spans = Trace.spans t in
+  Alcotest.(check int) "all three spans recorded" 3 (List.length spans);
+  let by_name n = List.find (fun s -> s.Trace.sp_name = n) spans in
+  let root = by_name "main_root" in
+  let w = by_name "worker_span" in
+  let wc = by_name "worker_child" in
+  Alcotest.(check bool) "worker has its own tid" true
+    (root.Trace.sp_tid <> w.Trace.sp_tid);
+  Alcotest.(check int) "worker span roots its track" (-1) w.Trace.sp_parent;
+  Alcotest.(check int) "worker-side nesting kept" w.Trace.sp_id
+    wc.Trace.sp_parent;
+  let ids = List.map (fun s -> s.Trace.sp_id) spans in
+  Alcotest.(check int) "ids unique across domains" 3
+    (List.length (List.sort_uniq compare ids));
+  (* worker roots overlap the owner's roots and must not double-count *)
+  Alcotest.(check bool) "total_ns counts owner roots only" true
+    (Trace.total_ns t = Trace.duration_ns root)
+
+let test_trace_parallel_spans_race_free () =
+  (* Many spans opened concurrently from pool workers: all recorded, no
+     crash, every span well-formed. *)
+  let t = Trace.create () in
+  Trace.with_collector t (fun () ->
+    Hlsb_util.Pool.iter ~jobs:4
+      (fun i ->
+        Trace.with_span "w" (fun () ->
+          Trace.add_attr "i" (Json.Int i);
+          Trace.with_span "inner" (fun () -> ())))
+      (Array.init 64 (fun i -> i)));
+  let spans = Trace.spans t in
+  Alcotest.(check int) "two spans per task" 128 (List.length spans);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "span closed" true
+        (s.Trace.sp_stop_ns >= s.Trace.sp_start_ns))
+    spans
+
 let test_metrics_merge_across_domains () =
   (* Each domain writes to its own shard; the registry only merges at read
      time. Increments from pool worker domains must sum with the caller's. *)
@@ -343,6 +412,11 @@ let suite =
     Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
     Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
     Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+    Alcotest.test_case "diff empty-interval min/max" `Quick
+      test_diff_empty_interval_minmax;
+    Alcotest.test_case "trace domain safety" `Quick test_trace_domain_safety;
+    Alcotest.test_case "trace parallel spans" `Quick
+      test_trace_parallel_spans_race_free;
     Alcotest.test_case "metrics json shape" `Quick test_metrics_json_shape;
     Alcotest.test_case "instrumentation populates" `Quick
       test_instrumentation_populates;

@@ -3,6 +3,7 @@ let () =
     [
       ("util", T_util.suite);
       ("telemetry", T_telemetry.suite);
+      ("obs", T_obs.suite);
       ("ir", T_ir.suite);
       ("device", T_device.suite);
       ("netlist", T_netlist.suite);
