@@ -37,7 +37,11 @@
      fig16   - Jacobi super-pipeline: stall vs skid control
      fig17   - per-stage widths + min-area skid buffer DP
      fig19   - stream buffer Fmax vs size, three optimization levels
-     ablation- design-choice ablations from DESIGN.md section 8 *)
+     ablation- design-choice ablations from DESIGN.md section 8
+     scale   - wide-arithmetic modular-squaring sweep (up to >100k cells):
+               per-stage compile wall-clock, cells/sec, and the
+               incremental-STA refresh cost, also exported as
+               "scale."-prefixed gauges into the run record and ledger *)
 
 module Experiments = Core.Experiments
 module Pool = Hlsb_util.Pool
@@ -128,6 +132,32 @@ let sections =
       fun () ->
         print_string (Experiments.render_ablations (Experiments.run_ablations ()))
     );
+    ( "scale",
+      "Scale: wide-arithmetic workloads through the place/STA hot path",
+      fun () ->
+        let rows = Experiments.run_scale () in
+        print_string (Experiments.render_scale rows);
+        (* export as gauges so the run record and the ledger carry the
+           compile-throughput numbers machine-readably *)
+        List.iter
+          (fun (r : Experiments.scale_row) ->
+            let g k v =
+              Metrics.set_gauge
+                (Printf.sprintf "scale.%s.%s" r.Experiments.sc_label k)
+                v
+            in
+            g "cells" (float_of_int r.Experiments.sc_cells);
+            g "nets" (float_of_int r.Experiments.sc_nets);
+            g "fmax_mhz" r.Experiments.sc_fmax_mhz;
+            g "total_ms" r.Experiments.sc_total_ms;
+            g "cells_per_sec" r.Experiments.sc_cells_per_sec;
+            g "sta_full_ms" r.Experiments.sc_sta_full_ms;
+            g "sta_refresh_ms" r.Experiments.sc_sta_refresh_ms;
+            g "refreshed_nets" (float_of_int r.Experiments.sc_refreshed_nets);
+            List.iter
+              (fun (stage, ms) -> g (stage ^ "_ms") ms)
+              r.Experiments.sc_stage_ms)
+          rows );
   ]
 
 let run_all_experiments ~only () =
@@ -256,6 +286,16 @@ let run_record ~label ~jobs trace registry =
                   let name = Core.Pipeline.stage_name stage in
                   (name, Json.Int (counter ("pipeline.stage_runs." ^ name))))
                 Core.Pipeline.stages) );
+      ( "scale",
+        Json.Obj
+          (List.filter_map
+             (fun (name, v) ->
+               if String.starts_with ~prefix:"scale." name then
+                 Some
+                   ( String.sub name 6 (String.length name - 6),
+                     Json.Float v )
+               else None)
+             snap.Metrics.sn_gauges) );
     ]
 
 (* Every bench invocation also leaves one hlsb-run/1 record in the shared

@@ -100,3 +100,34 @@ val run_ablations : unit -> ablation_row list
     placement strategy, sync pruning granularity. *)
 
 val render_ablations : ablation_row list -> string
+
+type scale_row = {
+  sc_label : string;
+  sc_bits : int;  (** operand width per lane *)
+  sc_limb : int;
+  sc_lanes : int;
+  sc_cells : int;
+  sc_nets : int;
+  sc_fmax_mhz : float;
+  sc_stage_ms : (string * float) list;
+      (** wall-clock of each pipeline stage that actually ran *)
+  sc_total_ms : float;  (** elaborate -> report, sum of the above *)
+  sc_cells_per_sec : float;  (** cells / total compile seconds *)
+  sc_sta_full_ms : float;
+      (** a context-free {!Hlsb_physical.Timing.analyze} query: rebuild
+          the arrays, re-time every net, propagate *)
+  sc_sta_refresh_ms : float;
+      (** re-time + re-propagate after a 4-cell ECO nudge *)
+  sc_refreshed_nets : int;  (** net delays recomputed by that refresh *)
+}
+
+val run_scale :
+  ?points:(string * (int * int * int)) list -> ?jobs:int -> unit -> scale_row list
+(** Compile the {!Hlsb_designs.Bigmul} wide-arithmetic sweep (default
+    [Bigmul.sweep]: ~7k, ~29k and ~104k cells) end to end, recording
+    per-stage wall-clock and compile throughput, then exercise the
+    incremental-STA path ({!Hlsb_physical.Timing.prepare} /
+    [refresh] / [analyze_ctx]) against a small placement nudge. Each
+    [points] element is [(label, (bits, limb, lanes))]. *)
+
+val render_scale : scale_row list -> string

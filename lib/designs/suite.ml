@@ -9,6 +9,7 @@ let all =
     Vector_arith.spec;
     Hbm_stencil.spec;
     Pattern_match.spec;
+    Bigmul.spec;
   ]
 
 let find name = List.find_opt (fun s -> s.Spec.sp_name = name) all

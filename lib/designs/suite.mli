@@ -1,4 +1,6 @@
-(** The nine Table-1 benchmarks, in the paper's row order. *)
+(** The nine Table-1 benchmarks in the paper's row order, followed by the
+    wide-arithmetic modular-squaring workload ({!Bigmul}) that scales the
+    broadcast structure past the Table-1 sizes. *)
 
 val all : Spec.t list
 val find : string -> Spec.t option

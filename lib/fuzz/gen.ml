@@ -25,11 +25,16 @@ type net_case = {
   nc_ready_duty : int;
 }
 
+type kern_shape =
+  | Sdag
+  | Swide
+
 type kern_case = {
   kc_seed : int;
   kc_ops : int;
   kc_width : int;
   kc_recipe : int;
+  kc_shape : kern_shape;
 }
 
 type t =
@@ -165,7 +170,16 @@ let build_net (c : net_case) =
 let op_pool = [| Op.Add; Op.Sub; Op.Mul; Op.And_; Op.Or_; Op.Xor; Op.Min; Op.Max |]
 let unary_pool = [| Op.Not; Op.Abs |]
 
-let build_kernel (c : kern_case) =
+(* The wide shape reuses the modular-squaring datapath generator: a
+   partial-product grid plus compressor tree, i.e. the broadcast-heavy
+   structure the scale workloads stress, at fuzz-friendly sizes. All
+   parameters are a deterministic function of the case. *)
+let build_wide (c : kern_case) =
+  let limb = 4 in
+  let bits = Stdlib.max (2 * limb) (c.kc_width * (1 + (c.kc_ops mod 4))) in
+  Hlsb_designs.Bigmul.kernel ~bits ~limb ~lane:(c.kc_seed land 0xFF) ()
+
+let build_dag (c : kern_case) =
   let rng = Rng.create c.kc_seed in
   let dt = Dtype.Int c.kc_width in
   let dag = Dag.create () in
@@ -211,6 +225,11 @@ let build_kernel (c : kern_case) =
     (List.rev !values);
   Kernel.create ~name:(Printf.sprintf "fz%d" c.kc_seed) dag
 
+let build_kernel (c : kern_case) =
+  match c.kc_shape with
+  | Sdag -> build_dag c
+  | Swide -> build_wide c
+
 (* ---------------- generation ---------------- *)
 
 let gen_pipe rng =
@@ -254,6 +273,8 @@ let gen_kern rng =
     kc_ops = 1 + Rng.int rng 24;
     kc_width = [| 8; 16; 32 |].(Rng.int rng 3);
     kc_recipe = Rng.int rng (Array.length recipes);
+    (* one case in four exercises the wide-arithmetic datapath *)
+    kc_shape = (if Rng.int rng 4 = 0 then Swide else Sdag);
   }
 
 let generate kind rng =
@@ -304,13 +325,21 @@ let to_json = function
       ]
   | Kern c ->
     Json.Obj
-      [
-        ("kind", Json.Str "kern");
-        ("seed", Json.Int c.kc_seed);
-        ("ops", Json.Int c.kc_ops);
-        ("width", Json.Int c.kc_width);
-        ("recipe", Json.Int c.kc_recipe);
-      ]
+      (List.concat
+         [
+           [
+             ("kind", Json.Str "kern");
+             ("seed", Json.Int c.kc_seed);
+             ("ops", Json.Int c.kc_ops);
+             ("width", Json.Int c.kc_width);
+             ("recipe", Json.Int c.kc_recipe);
+           ];
+           (* legacy reproducer files predate the shape field; omit the
+              default so they stay byte-stable under a round-trip *)
+           (match c.kc_shape with
+           | Sdag -> []
+           | Swide -> [ ("shape", Json.Str "wide") ]);
+         ])
 
 let get_int j key =
   match Json.member key j with
@@ -409,7 +438,14 @@ let of_json j =
       let* kc_ops = get_int j "ops" in
       let* kc_width = get_int j "width" in
       let* kc_recipe = get_int j "recipe" in
-      Ok (Kern { kc_seed; kc_ops; kc_width; kc_recipe })
+      let* kc_shape =
+        match Json.member "shape" j with
+        | None -> Ok Sdag
+        | Some (Json.Str "dag") -> Ok Sdag
+        | Some (Json.Str "wide") -> Ok Swide
+        | Some _ -> Error "bad kern shape"
+      in
+      Ok (Kern { kc_seed; kc_ops; kc_width; kc_recipe; kc_shape })
     | _ -> Error "unknown or missing case kind"
   in
   let* case = case in
@@ -432,6 +468,9 @@ let to_string = function
             c.nc_groups))
       c.nc_tokens c.nc_ready_seed c.nc_ready_duty
   | Kern c ->
-    Printf.sprintf "kern{seed=%d ops=%d width=%d recipe=%s}" c.kc_seed c.kc_ops
-      c.kc_width
+    Printf.sprintf "kern{seed=%d ops=%d width=%d recipe=%s%s}" c.kc_seed
+      c.kc_ops c.kc_width
       (Hlsb_ctrl.Style.label recipes.(c.kc_recipe))
+      (match c.kc_shape with
+      | Sdag -> ""
+      | Swide -> " shape=wide")

@@ -44,11 +44,22 @@ type net_case = {
   nc_ready_duty : int;
 }
 
+type kern_shape =
+  | Sdag  (** random op DAG between FIFOs (the original shape) *)
+  | Swide
+      (** a small wide-arithmetic modular-squaring datapath
+          ({!Hlsb_designs.Bigmul.kernel}): partial-product grid plus
+          compressor tree, sized from the case's width and op count *)
+
 type kern_case = {
   kc_seed : int;  (** DAG-shape seed; the builder is deterministic in it *)
   kc_ops : int;  (** datapath operation count, >= 1 *)
   kc_width : int;  (** operand width: 8, 16 or 32 *)
   kc_recipe : int;  (** index into {!recipes} *)
+  kc_shape : kern_shape;
+      (** datapath family; serialized as an optional ["shape"] field so
+          reproducer files from before the field (absent = [Sdag]) still
+          load *)
 }
 
 type t =

@@ -84,6 +84,8 @@ let kern_candidates (c : Gen.kern_case) =
   let open Gen in
   List.concat
     [
+      (* the random DAG is the simpler datapath: try it first *)
+      (if c.kc_shape = Swide then [ Kern { c with kc_shape = Sdag } ] else []);
       List.map (fun o -> Kern { c with kc_ops = o }) (shrink_int ~lo:1 c.kc_ops);
       (if c.kc_width > 8 then [ Kern { c with kc_width = 8 } ] else []);
     ]

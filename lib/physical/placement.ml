@@ -1,5 +1,6 @@
 module Device = Hlsb_device.Device
 module Netlist = Hlsb_netlist.Netlist
+module Diag = Hlsb_util.Diag
 
 (* Positions live in parallel unboxed float arrays (not an array of
    (float * float) tuples): the relax sweeps and the wire-length queries
@@ -10,6 +11,9 @@ type t = {
   xs : float array;
   ys : float array;
   fp : int array;
+  sq : float array;
+      (* sqrt (float fp) per cell: the spread radius folded into every
+         wire-length query, precomputed once instead of per net per STA *)
   max_x : float;
   max_y : float;
 }
@@ -54,7 +58,7 @@ let cls_fixed = 0
 let cls_movable = 1  (* light Seq with both fanin and fanout *)
 let cls_light_comb = 2
 
-let place (d : Device.t) nl =
+let place ?(max_sweeps = 24) ?(early_exit = true) (d : Device.t) nl =
   let n = Netlist.n_cells nl in
   let xs = Array.make n 0. in
   let ys = Array.make n 0. in
@@ -72,8 +76,12 @@ let place (d : Device.t) nl =
   let next_point () =
     let rec go () =
       if !cursor >= total_points then
-        failwith
-          (Printf.sprintf "Placement: design does not fit device %s" d.name);
+        Diag.fail
+          ~entity:(Diag.Design (Netlist.name nl))
+          ~stage:"place"
+          "design does not fit device %s: packing curve exhausted after %d \
+           of %d on-die slices (%d x %d grid)"
+          d.name !used capacity d.cols d.rows;
       let x, y = hilbert_d2xy side !cursor in
       incr cursor;
       if x < d.cols && y < d.rows then (x, y) else go ()
@@ -84,8 +92,12 @@ let place (d : Device.t) nl =
     let s = footprint d c in
     fp.(id) <- s;
     if !used + s > capacity then
-      failwith
-        (Printf.sprintf "Placement: design does not fit device %s" d.name);
+      Diag.fail
+        ~entity:(Diag.Design (Netlist.name nl))
+        ~stage:"place"
+        "design does not fit device %s: cell %s needs %d slice(s) but only \
+         %d of %d remain (%d x %d slice grid)"
+        d.name c.Netlist.c_name s (capacity - !used) capacity d.cols d.rows;
     used := !used + s;
     let sx = ref 0. and sy = ref 0. in
     for _ = 1 to s do
@@ -156,7 +168,7 @@ let place (d : Device.t) nl =
   (* Sweeps alternate direction (Gauss-Seidel): long register chains relax
      to evenly spaced waypoints in a few passes instead of diffusing one
      hop per pass. *)
-  let relax id =
+  let relax delta id =
     let c = Char.code (Bytes.unsafe_get cls id) in
     if c <> cls_fixed then begin
       let isx = ref 0. and isy = ref 0. in
@@ -182,8 +194,13 @@ let place (d : Device.t) nl =
            still pulling multi-sink leaves toward their cluster *)
         let wi = sqrt ki in
         let wo = sqrt ko in
-        xs.(id) <- ((ix *. wi) +. (ox *. wo)) /. (wi +. wo);
-        ys.(id) <- ((iy *. wi) +. (oy *. wo)) /. (wi +. wo)
+        let nx = ((ix *. wi) +. (ox *. wo)) /. (wi +. wo)
+        and ny = ((iy *. wi) +. (oy *. wo)) /. (wi +. wo) in
+        delta :=
+          Stdlib.max !delta
+            (Stdlib.max (abs_float (nx -. xs.(id))) (abs_float (ny -. ys.(id))));
+        xs.(id) <- nx;
+        ys.(id) <- ny
       end
       else begin
         (* Combinational cells hug their *sources* (gather trees sit at
@@ -192,25 +209,47 @@ let place (d : Device.t) nl =
            fully erased. *)
         let cx = (0.65 *. ix) +. (0.35 *. ox)
         and cy = (0.65 *. iy) +. (0.35 *. oy) in
-        xs.(id) <- (0.1 *. slot_x.(id)) +. (0.9 *. cx);
-        ys.(id) <- (0.1 *. slot_y.(id)) +. (0.9 *. cy)
+        let nx = (0.1 *. slot_x.(id)) +. (0.9 *. cx)
+        and ny = (0.1 *. slot_y.(id)) +. (0.9 *. cy) in
+        delta :=
+          Stdlib.max !delta
+            (Stdlib.max (abs_float (nx -. xs.(id))) (abs_float (ny -. ys.(id))));
+        xs.(id) <- nx;
+        ys.(id) <- ny
       end
     end
   in
-  for sweep = 1 to 24 do
-    if sweep mod 2 = 1 then
+  (* Convergence gate: a sweep whose largest position update is exactly
+     zero is a fixpoint — every later sweep would recompute the same
+     centroids from the same positions — so stopping there is provably
+     equivalent to running all [max_sweeps]. Designs that settle early
+     (the characterize skeletons settle in 2-3 sweeps; 100k-cell bigmul
+     netlists in far fewer than 24) skip the dead sweeps; designs that
+     never settle run exactly the historical count, bit-identically. *)
+  let sweep = ref 1 in
+  let settled = ref false in
+  while !sweep <= max_sweeps && not !settled do
+    let delta = ref 0. in
+    if !sweep mod 2 = 1 then
       for id = 0 to n - 1 do
-        relax id
+        relax delta id
       done
     else
       for id = n - 1 downto 0 do
-        relax id
-      done
+        relax delta id
+      done;
+    if early_exit && !delta = 0. then settled := true;
+    incr sweep
   done;
-  { netlist = nl; xs; ys; fp; max_x = !max_x; max_y = !max_y }
+  let sq = Array.map (fun s -> sqrt (float_of_int s)) fp in
+  { netlist = nl; xs; ys; fp; sq; max_x = !max_x; max_y = !max_y }
 
 let position t c = (t.xs.(c), t.ys.(c))
 let footprint_slices t c = t.fp.(c)
+
+let set_position t c (x, y) =
+  t.xs.(c) <- x;
+  t.ys.(c) <- y
 
 (* The wire-length queries below iterate the sinks array directly instead
    of materializing [driver :: Array.to_list sinks]; they run once per net
@@ -243,8 +282,8 @@ let hpwl t nid =
        for crossing it. *)
     let spread =
       Array.fold_left
-        (fun acc s -> acc +. sqrt (float_of_int t.fp.(s)))
-        (sqrt (float_of_int t.fp.(net.Netlist.n_driver)))
+        (fun acc s -> acc +. t.sq.(s))
+        t.sq.(net.Netlist.n_driver)
         net.Netlist.n_sinks
       /. float_of_int (1 + n_sinks)
     in
@@ -266,8 +305,8 @@ let star_length t nid =
     in
     let spread =
       Array.fold_left
-        (fun acc s -> acc +. sqrt (float_of_int t.fp.(s)))
-        (sqrt (float_of_int t.fp.(drv)))
+        (fun acc s -> acc +. t.sq.(s))
+        t.sq.(drv)
         net.Netlist.n_sinks
       /. float_of_int (1 + Array.length net.Netlist.n_sinks)
     in

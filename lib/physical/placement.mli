@@ -19,11 +19,28 @@
 
 type t
 
-val place : Hlsb_device.Device.t -> Hlsb_netlist.Netlist.t -> t
-(** Raises [Failure] if the design does not fit the device. *)
+val place :
+  ?max_sweeps:int ->
+  ?early_exit:bool ->
+  Hlsb_device.Device.t ->
+  Hlsb_netlist.Netlist.t ->
+  t
+(** Pack, then refine with up to [max_sweeps] (default 24) alternating
+    relax sweeps. With [early_exit] (default [true]) the refinement stops
+    at the first sweep whose largest position update is exactly zero — a
+    fixpoint, so the result is bit-identical to running every sweep;
+    [~early_exit:false] forces the historical fixed-count behaviour (for
+    equivalence tests). Raises [Hlsb_util.Diag.Diagnostic] (stage
+    ["place"], entity [Design]) naming the device and the capacity
+    constraint if the design does not fit. *)
 
 val position : t -> int -> float * float
 (** Centroid of a placed cell in slice-grid units. *)
+
+val set_position : t -> int -> float * float -> unit
+(** Move one cell (ECO-style nudge between STA queries). The placement's
+    wire-length queries see the new centroid immediately; pair with
+    [Timing.refresh] to re-time only the nets the move touched. *)
 
 val footprint_slices : t -> int -> int
 (** Slices occupied by a cell (1 minimum; BRAM/DSP cells report their site

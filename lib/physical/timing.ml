@@ -1,6 +1,5 @@
 module Device = Hlsb_device.Device
 module Netlist = Hlsb_netlist.Netlist
-module Rng = Hlsb_util.Rng
 module Trace = Hlsb_telemetry.Trace
 module Metrics = Hlsb_telemetry.Metrics
 
@@ -21,12 +20,38 @@ type report = {
   arrivals : float array;
 }
 
+(* Allocation-free splitmix64 step, inlined from [Rng.next_int64]: the
+   jitter used to spin up a fresh [Rng.t] per net per analyze, which was
+   one short-lived box per net in the hottest loop of the flow. The two
+   unit floats below replay the exact draws [Rng.gaussian] would make
+   from [Rng.create ((seed * 1_000_003) + nid)] — state + golden, mixed,
+   top 53 bits scaled — so every delay in every report stays
+   bit-identical to the allocating version (Box-Muller with mu=0 reduces
+   to [jitter *. z], and [0. +. x] / [x *. 1.] are float identities). *)
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float state =
+  Int64.to_float (Int64.shift_right_logical (mix64 state) 11)
+  /. 9007199254740992. (* 2^53 *)
+
 let jitter_factor ~jitter ~seed nid =
   if jitter <= 0. then 1.
   else begin
-    let rng = Rng.create ((seed * 1_000_003) + nid) in
-    let f = 1. +. Rng.gaussian rng ~mu:0. ~sigma:jitter in
-    max 0.5 f
+    let s1 = Int64.add (Int64.of_int ((seed * 1_000_003) + nid)) golden in
+    let s2 = Int64.add s1 golden in
+    let u1 = max 1e-12 (unit_float s1) in
+    let u2 = unit_float s2 in
+    let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    max 0.5 (1. +. (jitter *. z))
   end
 
 let net_delay (d : Device.t) nl pl ~jitter ~seed nid =
@@ -43,7 +68,28 @@ let net_delay (d : Device.t) nl pl ~jitter ~seed nid =
 
 let default_seed nl = Hashtbl.hash (Netlist.name nl) land 0xFFFFFF
 
-let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
+(* ---- incremental STA context ---- *)
+
+type incidence = { inc_off : int array; inc_adj : int array }
+
+type ctx = {
+  cx_device : Device.t;
+  cx_netlist : Netlist.t;
+  cx_pl : Placement.t;
+  cx_jitter : float;
+  cx_seed : int;
+  cx_off : int array;
+  cx_arc_pred : int array;
+  cx_arc_net : int array;
+  cx_ndelay : float array;
+  cx_snap_x : float array;  (* cell positions as of the last ndelay fill *)
+  cx_snap_y : float array;
+  mutable cx_inc : incidence option;
+      (* cell -> incident nets CSR, built lazily on the first [refresh]
+         so a one-shot [analyze] never pays for it *)
+}
+
+let prepare ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
   let seed = match seed with Some s -> s | None -> default_seed nl in
   let n = Netlist.n_cells nl in
   (* Per-cell fanin arcs in CSR form (arc_pred/arc_net flat arrays sliced by
@@ -74,6 +120,101 @@ let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
         arc_pred.(k) <- net.Netlist.n_driver;
         arc_net.(k) <- nid)
       net.Netlist.n_sinks);
+  let snap_x = Array.make n 0. in
+  let snap_y = Array.make n 0. in
+  for c = 0 to n - 1 do
+    let x, y = Placement.position pl c in
+    snap_x.(c) <- x;
+    snap_y.(c) <- y
+  done;
+  {
+    cx_device = d;
+    cx_netlist = nl;
+    cx_pl = pl;
+    cx_jitter = jitter;
+    cx_seed = seed;
+    cx_off = off;
+    cx_arc_pred = arc_pred;
+    cx_arc_net = arc_net;
+    cx_ndelay = ndelay;
+    cx_snap_x = snap_x;
+    cx_snap_y = snap_y;
+    cx_inc = None;
+  }
+
+let incidence ctx =
+  match ctx.cx_inc with
+  | Some i -> i
+  | None ->
+    let nl = ctx.cx_netlist in
+    let n = Netlist.n_cells nl in
+    let inc_off = Array.make (n + 1) 0 in
+    Netlist.iter_nets nl (fun _ net ->
+      inc_off.(net.Netlist.n_driver + 1) <- inc_off.(net.Netlist.n_driver + 1) + 1;
+      Array.iter
+        (fun s -> inc_off.(s + 1) <- inc_off.(s + 1) + 1)
+        net.Netlist.n_sinks);
+    for c = 0 to n - 1 do
+      inc_off.(c + 1) <- inc_off.(c + 1) + inc_off.(c)
+    done;
+    let inc_adj = Array.make inc_off.(n) 0 in
+    let cursor = Array.init n (fun c -> inc_off.(c + 1)) in
+    let put c nid =
+      let k = cursor.(c) - 1 in
+      cursor.(c) <- k;
+      inc_adj.(k) <- nid
+    in
+    Netlist.iter_nets nl (fun nid net ->
+      put net.Netlist.n_driver nid;
+      Array.iter (fun s -> put s nid) net.Netlist.n_sinks);
+    let i = { inc_off; inc_adj } in
+    ctx.cx_inc <- Some i;
+    i
+
+let refresh ctx =
+  (* Re-time only the nets incident to cells whose position changed since
+     the last fill: a net's delay depends solely on its own endpoints'
+     positions (fanout and jitter are placement-independent), so every
+     untouched net keeps a bit-identical delay and a full [prepare] after
+     the same moves would produce exactly this array. *)
+  let nl = ctx.cx_netlist in
+  let n = Netlist.n_cells nl in
+  let n_nets = Array.length ctx.cx_ndelay in
+  let inc = incidence ctx in
+  let dirty = Bytes.make n_nets '\000' in
+  let moved = ref 0 in
+  for c = 0 to n - 1 do
+    let x, y = Placement.position ctx.cx_pl c in
+    if x <> ctx.cx_snap_x.(c) || y <> ctx.cx_snap_y.(c) then begin
+      incr moved;
+      ctx.cx_snap_x.(c) <- x;
+      ctx.cx_snap_y.(c) <- y;
+      for k = inc.inc_off.(c) to inc.inc_off.(c + 1) - 1 do
+        Bytes.unsafe_set dirty inc.inc_adj.(k) '\001'
+      done
+    end
+  done;
+  let recomputed = ref 0 in
+  if !moved > 0 then
+    for nid = 0 to n_nets - 1 do
+      if Bytes.unsafe_get dirty nid = '\001' then begin
+        ctx.cx_ndelay.(nid) <-
+          net_delay ctx.cx_device nl ctx.cx_pl ~jitter:ctx.cx_jitter
+            ~seed:ctx.cx_seed nid;
+        incr recomputed
+      end
+    done;
+  !recomputed
+
+let analyze_ctx ctx =
+  let d = ctx.cx_device in
+  let nl = ctx.cx_netlist in
+  let off = ctx.cx_off in
+  let arc_pred = ctx.cx_arc_pred in
+  let arc_net = ctx.cx_arc_net in
+  let ndelay = ctx.cx_ndelay in
+  let n = Netlist.n_cells nl in
+  let n_arcs = off.(n) in
   (* Arrival at each cell's *output*. Sequential cells and input ports
      launch at t_clk_q; combinational cells add their logic delay on top of
      the worst input arrival. Evaluate in dependence order via DFS with
@@ -242,6 +383,9 @@ let analyze ?(jitter = 0.02) ?seed (d : Device.t) nl pl =
     worst_net_class = worst_cls;
     arrivals = arrival;
   }
+
+let analyze ?jitter ?seed (d : Device.t) nl pl =
+  analyze_ctx (prepare ?jitter ?seed d nl pl)
 
 let run_body ?jitter ?seed d nl =
   let pl = Trace.with_span "place" (fun () -> Placement.place d nl) in

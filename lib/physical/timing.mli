@@ -28,6 +28,13 @@ type report = {
           clk->q. Used by the characterizer to probe a specific cell. *)
 }
 
+val jitter_factor : jitter:float -> seed:int -> int -> float
+(** The deterministic per-net perturbation factor ([>= 0.5], 1.0 when
+    [jitter <= 0.]): an allocation-free replay of the two splitmix64
+    draws [Hlsb_util.Rng.gaussian] would make from a fresh
+    [Rng.create ((seed * 1_000_003) + nid)] — exposed so tests can pin
+    the equivalence. *)
+
 val net_delay :
   Hlsb_device.Device.t ->
   Hlsb_netlist.Netlist.t ->
@@ -49,7 +56,41 @@ val analyze :
   report
 (** Raises [Failure] on a combinational cycle (validate the netlist
     first). Default [jitter] is [0.02], default [seed] is derived from the
-    netlist name so a given design is reproducible. *)
+    netlist name so a given design is reproducible. Equivalent to
+    {!prepare} followed by {!analyze_ctx}. *)
+
+(** {2 Incremental analysis}
+
+    The characterize loop and ECO-style exploration re-run STA against
+    placements that barely change between queries. A {!ctx} caches the
+    fanin CSR and the per-net delay array for one (netlist, placement)
+    pair; {!refresh} re-times only the nets whose endpoint cells moved
+    (via {!Placement.set_position}) since the last fill, and
+    {!analyze_ctx} runs the arrival propagation over the cached arrays.
+    Reports are bit-identical to a fresh {!analyze} of the same
+    positions. *)
+
+type ctx
+
+val prepare :
+  ?jitter:float ->
+  ?seed:int ->
+  Hlsb_device.Device.t ->
+  Hlsb_netlist.Netlist.t ->
+  Placement.t ->
+  ctx
+(** Build the timing arrays for this placement (same defaults as
+    {!analyze}). The context aliases the placement: later position edits
+    are picked up by {!refresh}. *)
+
+val refresh : ctx -> int
+(** Re-time the nets incident to cells that moved since {!prepare} (or
+    the previous [refresh]); returns how many net delays were recomputed
+    (0 when nothing moved). *)
+
+val analyze_ctx : ctx -> report
+(** Arrival propagation + critical-path reconstruction over the cached
+    arrays. Call after {!refresh} when positions changed. *)
 
 val run : ?jitter:float -> ?seed:int -> Hlsb_device.Device.t -> Hlsb_netlist.Netlist.t -> report
 (** Place then analyze. *)

@@ -9,8 +9,9 @@ module Netlist = Hlsb_netlist.Netlist
 module Design = Hlsb_rtlgen.Design
 module Style = Hlsb_ctrl.Style
 
-let test_nine_designs () =
-  Alcotest.(check int) "nine benchmarks" 9 (List.length Suite.all)
+let test_ten_designs () =
+  (* the nine Table-1 rows plus the wide-arithmetic modular squarer *)
+  Alcotest.(check int) "ten benchmarks" 10 (List.length Suite.all)
 
 let test_find () =
   Alcotest.(check bool) "stencil present" true (Suite.find "Stencil" <> None);
@@ -102,6 +103,70 @@ let test_pattern_pe_latencies_differ () =
   in
   Alcotest.(check bool) "heterogeneous latencies" true (List.length lats > 1)
 
+module Bigmul = Hlsb_designs.Bigmul
+module Placement = Hlsb_physical.Placement
+module Timing = Hlsb_physical.Timing
+
+let bigmul_netlist ~bits ~limb ~lanes =
+  let des =
+    Design.generate ~device:Device.ultrascale_plus ~recipe:Style.original
+      ~name:(Printf.sprintf "bm%dx%d" bits lanes)
+      (Bigmul.dataflow ~bits ~limb ~lanes ())
+  in
+  des.Design.netlist
+
+let test_bigmul_deterministic () =
+  (* same parameters => byte-identical netlist, at any job count *)
+  let emit jobs =
+    let saved = Hlsb_util.Pool.default_jobs () in
+    Hlsb_util.Pool.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Hlsb_util.Pool.set_default_jobs saved)
+      (fun () ->
+        Hlsb_netlist.Export.to_verilog
+          (bigmul_netlist ~bits:128 ~limb:8 ~lanes:1))
+  in
+  Alcotest.(check bool) "jobs=1 == jobs=4" true (String.equal (emit 1) (emit 4))
+
+let test_bigmul_broadcast_structure () =
+  (* squaring reads each a-limb across a whole partial-product row and
+     column: a >= 2n-way implicit data broadcast *)
+  let k = Bigmul.kernel ~bits:128 ~limb:8 () in
+  let dag = k.Kernel.dag in
+  let n = 128 / 8 in
+  let max_reads = ref 0 in
+  Dag.iter dag (fun v -> max_reads := max !max_reads (Dag.broadcast_factor dag v));
+  Alcotest.(check bool) "2n-way limb broadcast" true (!max_reads >= 2 * n)
+
+let test_bigmul_scaling () =
+  (* doubling the width quadruples the partial-product grid *)
+  let nodes bits = Dag.n_nodes (Bigmul.kernel ~bits ~limb:8 ()).Kernel.dag in
+  Alcotest.(check bool) "node count quadratic in width" true
+    (nodes 256 > 3 * nodes 128);
+  (* lanes replicate the datapath: cells and nets scale linearly *)
+  let one = bigmul_netlist ~bits:128 ~limb:8 ~lanes:1 in
+  let two = bigmul_netlist ~bits:128 ~limb:8 ~lanes:2 in
+  let ratio =
+    float_of_int (Netlist.n_cells two) /. float_of_int (Netlist.n_cells one)
+  in
+  Alcotest.(check bool) "two lanes ~ 2x cells" true (ratio > 1.8 && ratio < 2.3);
+  Alcotest.(check bool) "nets track cells" true
+    (Netlist.n_nets two > Netlist.n_nets one);
+  (* the measured-coefficient estimator is in the right ballpark *)
+  let est = Bigmul.approx_cells ~bits:128 ~limb:8 ~lanes:1 in
+  let act = Netlist.n_cells one in
+  Alcotest.(check bool) "approx_cells within 2x" true
+    (est > act / 2 && est < act * 2)
+
+let test_bigmul_100k_smoke () =
+  (* the acceptance point: a >=100k-cell netlist goes through place + STA *)
+  let nl = bigmul_netlist ~bits:420 ~limb:7 ~lanes:2 in
+  Alcotest.(check bool) "past 100k cells" true (Netlist.n_cells nl >= 100_000);
+  let pl = Placement.place Device.ultrascale_plus nl in
+  let r = Timing.analyze Device.ultrascale_plus nl pl in
+  Alcotest.(check bool) "finite critical path" true
+    (r.Timing.critical_ns > 0. && r.Timing.fmax_mhz > 0.)
+
 let test_all_fit_their_devices () =
   (* the expensive end-to-end check: both recipes of every benchmark
      place successfully on the paper's device *)
@@ -121,7 +186,7 @@ let test_all_fit_their_devices () =
 
 let suite =
   [
-    Alcotest.test_case "nine designs" `Quick test_nine_designs;
+    Alcotest.test_case "ten designs" `Quick test_ten_designs;
     Alcotest.test_case "find" `Quick test_find;
     Alcotest.test_case "networks validate" `Quick test_all_networks_validate;
     Alcotest.test_case "paper rows sane" `Quick test_paper_rows_sane;
@@ -132,5 +197,9 @@ let suite =
     Alcotest.test_case "hbm sync group" `Quick test_hbm_sync_group;
     Alcotest.test_case "vector sync structure" `Quick test_vector_sync_connected;
     Alcotest.test_case "pattern latencies" `Quick test_pattern_pe_latencies_differ;
+    Alcotest.test_case "bigmul deterministic" `Quick test_bigmul_deterministic;
+    Alcotest.test_case "bigmul broadcast" `Quick test_bigmul_broadcast_structure;
+    Alcotest.test_case "bigmul scaling" `Quick test_bigmul_scaling;
+    Alcotest.test_case "bigmul 100k smoke" `Slow test_bigmul_100k_smoke;
     Alcotest.test_case "all fit devices" `Slow test_all_fit_their_devices;
   ]

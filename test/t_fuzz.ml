@@ -8,6 +8,7 @@ module Campaign = Hlsb_fuzz.Campaign
 module Qbridge = Hlsb_fuzz.Qbridge
 module Rng = Hlsb_util.Rng
 module Metrics = Hlsb_telemetry.Metrics
+module Json = Hlsb_telemetry.Json
 
 let kinds = [ Gen.Kpipe; Gen.Knet; Gen.Kkern ]
 
@@ -68,6 +69,45 @@ let test_case_json_roundtrip () =
         | Error msg -> Alcotest.fail ("of_json failed: " ^ msg)
       done)
     kinds
+
+let test_wide_shape () =
+  let wide =
+    {
+      Gen.kc_seed = 7;
+      kc_ops = 5;
+      kc_width = 16;
+      kc_recipe = 0;
+      kc_shape = Gen.Swide;
+    }
+  in
+  (* the wide datapath builds a valid kernel, deterministically *)
+  let render c =
+    Format.asprintf "%a" Hlsb_ir.Dag.pp (Gen.build_kernel c).Hlsb_ir.Kernel.dag
+  in
+  Alcotest.(check string) "wide builder deterministic" (render wide) (render wide);
+  (* shape survives a JSON roundtrip... *)
+  (match Gen.of_json (Gen.to_json (Gen.Kern wide)) with
+  | Ok (Gen.Kern c) ->
+    Alcotest.(check bool) "shape preserved" true (c.Gen.kc_shape = Gen.Swide)
+  | Ok _ -> Alcotest.fail "roundtrip changed the case kind"
+  | Error msg -> Alcotest.fail ("of_json failed: " ^ msg));
+  (* ...and a legacy record without the field still loads as the DAG shape *)
+  let legacy =
+    Json.Obj
+      [
+        ("kind", Json.Str "kern");
+        ("seed", Json.Int 7);
+        ("ops", Json.Int 5);
+        ("width", Json.Int 16);
+        ("recipe", Json.Int 0);
+      ]
+  in
+  match Gen.of_json legacy with
+  | Ok (Gen.Kern c) ->
+    Alcotest.(check bool) "legacy defaults to dag" true
+      (c.Gen.kc_shape = Gen.Sdag)
+  | Ok _ -> Alcotest.fail "legacy record parsed as a non-kern case"
+  | Error msg -> Alcotest.fail ("legacy of_json failed: " ^ msg)
 
 let test_campaign_smoke () =
   let registry = Metrics.create () in
@@ -211,6 +251,7 @@ let suite =
       test_generated_nets_well_formed;
     Alcotest.test_case "builders deterministic" `Quick test_builders_deterministic;
     Alcotest.test_case "case json roundtrip" `Quick test_case_json_roundtrip;
+    Alcotest.test_case "wide kern shape" `Quick test_wide_shape;
     Alcotest.test_case "campaign smoke" `Quick test_campaign_smoke;
     Alcotest.test_case "shrinker finds boundary" `Quick
       test_shrinker_finds_boundary;

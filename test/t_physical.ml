@@ -28,8 +28,19 @@ let test_place_too_big () =
   ignore
     (Netlist.add_cell nl ~name:"huge" ~kind:Netlist.Comb ~delay:0.
        ~res:{ Netlist.zero_res with Netlist.r_luts = dev.Device.luts * 3 });
-  Alcotest.(check bool) "overflow detected" true
-    (try ignore (Placement.place dev nl); false with Failure _ -> true)
+  (* a structured diagnostic naming the stage, design, and device — not a
+     bare Failure that kills a fuzz campaign without context *)
+  match Placement.place dev nl with
+  | _ -> Alcotest.fail "oversized design placed"
+  | exception Hlsb_util.Diag.Diagnostic d ->
+    let msg = Hlsb_util.Diag.to_string d in
+    let has needle =
+      let nn = String.length needle and nm = String.length msg in
+      let rec at i = i + nn <= nm && (String.sub msg i nn = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "names the stage" true (has "place");
+    Alcotest.(check bool) "names the device" true (has dev.Device.name)
 
 let test_adjacent_cells_close () =
   (* consecutively created cells land physically adjacent *)
@@ -364,6 +375,117 @@ let test_net_delay_monotone_fanout () =
   let d2 = Timing.net_delay dev nl pl ~jitter:0. ~seed:0 n2 in
   Alcotest.(check bool) "more sinks, more delay" true (d2 > d1)
 
+let test_place_early_exit_equivalence () =
+  (* characterize-style skeleton: movable registers between fixed ports
+     settle after one sweep, so the convergence gate fires well before
+     24 sweeps — and must produce bit-identical positions to the full
+     fixed-count run *)
+  let build () =
+    let nl = Netlist.create ~name:"skel" in
+    for i = 0 to 99 do
+      let p_in =
+        Netlist.add_cell nl ~name:(Printf.sprintf "i%d" i)
+          ~kind:Netlist.Port_in ~delay:0. ~res:Netlist.zero_res
+      in
+      let r = reg nl (Printf.sprintf "r%d" i) in
+      let p_out =
+        Netlist.add_cell nl ~name:(Printf.sprintf "o%d" i)
+          ~kind:Netlist.Port_out ~delay:0. ~res:Netlist.zero_res
+      in
+      ignore
+        (Netlist.add_net nl ~name:(Printf.sprintf "a%d" i) ~driver:p_in
+           ~sinks:[ r ] ~width:32 ());
+      ignore
+        (Netlist.add_net nl ~name:(Printf.sprintf "b%d" i) ~driver:r
+           ~sinks:[ p_out ] ~width:32 ())
+    done;
+    nl
+  in
+  let nl = build () in
+  let gated = Placement.place dev nl in
+  let full = Placement.place ~early_exit:false dev nl in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    let gx, gy = Placement.position gated c in
+    let fx, fy = Placement.position full c in
+    if
+      Int64.bits_of_float gx <> Int64.bits_of_float fx
+      || Int64.bits_of_float gy <> Int64.bits_of_float fy
+    then
+      Alcotest.failf "cell %d: early-exit position (%h,%h) <> full (%h,%h)" c
+        gx gy fx fy
+  done
+
+let test_jitter_matches_rng_reference () =
+  (* the allocation-free hash-mix must reproduce the Rng-based factor
+     bit-for-bit for every (seed, net) the flow can produce *)
+  let reference ~jitter ~seed nid =
+    let rng = Rng.create ((seed * 1_000_003) + nid) in
+    let f = 1. +. Rng.gaussian rng ~mu:0. ~sigma:jitter in
+    max 0.5 f
+  in
+  List.iter
+    (fun seed ->
+      for nid = 0 to 999 do
+        List.iter
+          (fun jitter ->
+            let want = reference ~jitter ~seed nid in
+            let got = Timing.jitter_factor ~jitter ~seed nid in
+            if Int64.bits_of_float want <> Int64.bits_of_float got then
+              Alcotest.failf "seed=%d nid=%d jitter=%g: %h <> %h" seed nid
+                jitter want got)
+          [ 0.; 0.02; 0.3 ]
+      done)
+    [ 0; 1; 42; 0xFFFFFF; -7 ]
+
+let test_incremental_sta_equivalence () =
+  (* prepare + refresh after moves must match a fresh analyze of the same
+     positions, bit for bit *)
+  let nl = Netlist.create ~name:"inc" in
+  let n_stages = 64 in
+  let regs = Array.init n_stages (fun i -> reg nl (Printf.sprintf "r%d" i)) in
+  for i = 0 to n_stages - 2 do
+    let c =
+      Netlist.add_cell nl ~name:(Printf.sprintf "c%d" i) ~kind:Netlist.Comb
+        ~delay:0.2 ~res:{ Netlist.zero_res with Netlist.r_luts = 8 }
+    in
+    ignore
+      (Netlist.add_net nl ~name:(Printf.sprintf "n%d" i) ~driver:regs.(i)
+         ~sinks:[ c ] ~width:32 ());
+    ignore
+      (Netlist.add_net nl ~name:(Printf.sprintf "m%d" i) ~driver:c
+         ~sinks:[ regs.(i + 1) ] ~width:32 ())
+  done;
+  let pl = Placement.place dev nl in
+  let ctx = Timing.prepare dev nl pl in
+  let check_matches label =
+    let inc = Timing.analyze_ctx ctx in
+    let fresh = Timing.analyze dev nl pl in
+    Alcotest.(check bool)
+      (label ^ ": critical bit-identical")
+      true
+      (Int64.bits_of_float inc.Timing.critical_ns
+      = Int64.bits_of_float fresh.Timing.critical_ns);
+    Array.iteri
+      (fun c a ->
+        if Int64.bits_of_float a <> Int64.bits_of_float fresh.Timing.arrivals.(c)
+        then Alcotest.failf "%s: arrival of cell %d diverges" label c)
+      inc.Timing.arrivals
+  in
+  Alcotest.(check int) "nothing moved, nothing recomputed" 0 (Timing.refresh ctx);
+  check_matches "initial";
+  (* ECO-style nudge: move a handful of cells and re-time *)
+  List.iter
+    (fun c ->
+      let x, y = Placement.position pl c in
+      Placement.set_position pl c (x +. 7.5, y +. 3.25))
+    [ 3; 10; 11; 50 ];
+  let recomputed = Timing.refresh ctx in
+  Alcotest.(check bool) "moved cells dirty some nets" true (recomputed > 0);
+  Alcotest.(check bool) "but far fewer than all nets" true
+    (recomputed < Netlist.n_nets nl / 2);
+  check_matches "after move";
+  Alcotest.(check int) "second refresh is a no-op" 0 (Timing.refresh ctx)
+
 let prop_sta_monotone_in_cell_delay =
   QCheck.Test.make ~count:30 ~name:"critical path monotone in logic delay"
     QCheck.(float_range 0.1 3.0)
@@ -403,5 +525,11 @@ let suite =
     Alcotest.test_case "sta path realizable" `Quick test_sta_path_realizable;
     Alcotest.test_case "sta ports not endpoints" `Quick test_sta_ports_not_endpoints;
     Alcotest.test_case "net delay monotone" `Quick test_net_delay_monotone_fanout;
+    Alcotest.test_case "place early-exit equivalence" `Quick
+      test_place_early_exit_equivalence;
+    Alcotest.test_case "jitter matches rng reference" `Quick
+      test_jitter_matches_rng_reference;
+    Alcotest.test_case "incremental sta equivalence" `Quick
+      test_incremental_sta_equivalence;
   ]
   @ [ QCheck_alcotest.to_alcotest prop_sta_monotone_in_cell_delay ]
