@@ -506,24 +506,35 @@ let cmd_schedule =
     Term.(const run $ design_arg $ recipe_arg)
 
 let cmd_cc =
-  let run () file recipe =
+  let run () file recipe transform dump_after explain =
     let src =
       let ic = open_in file in
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    match Hlsb_frontend.Frontend.design_of_string src with
+    let plan =
+      match Hlsb_transform.Plan.of_string transform with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf
+          "%s (plan grammar: unroll=N | unroll=LOOP:N | partition=cyclic:N | \
+           partition=cyclic:ARRAY:N | fission[=LOOP] | fusion[=LOOP] | \
+           stream[=ARRAY] | pragmas | channel-reuse, ';'-separated)\n"
+          msg;
+        exit 1
+    in
+    match Hlsb_frontend.Frontend.parse src with
     | Error e ->
       Format.eprintf "%s: %a@." file Hlsb_frontend.Frontend.pp_error e;
       exit 1
-    | Ok df -> (
+    | Ok program -> (
       let device = Hlsb_device.Device.ultrascale_plus in
-      print_string (Core.Classify.to_string (Core.Classify.analyze ~device df));
       let name = Filename.remove_extension (Filename.basename file) in
-      let session =
-        Pipeline.create ~device ~name ~build:(fun () -> df) ()
-      in
+      let session = Pipeline.of_program ~device ~name program in
+      (match Pipeline.classify_report ~plan session with
+      | report -> print_string (Core.Classify.to_string report)
+      | exception Diag.Diagnostic d -> fail_diag d);
       let recipe = recipe_of recipe in
       let registry =
         if Ledger.enabled () then Some (Metrics.create ()) else None
@@ -531,8 +542,9 @@ let cmd_cc =
       let outcome =
         match registry with
         | Some reg ->
-          Metrics.with_registry reg (fun () -> Pipeline.run session ~recipe)
-        | None -> Pipeline.run session ~recipe
+          Metrics.with_registry reg (fun () ->
+            Pipeline.run ~plan session ~recipe)
+        | None -> Pipeline.run ~plan session ~recipe
       in
       match outcome with
       | Error d -> fail_diag d
@@ -540,6 +552,11 @@ let cmd_cc =
         (match registry with
         | None -> ()
         | Some reg ->
+          let label =
+            match Hlsb_transform.Plan.to_string plan with
+            | "" -> name
+            | p -> name ^ " [" ^ p ^ "]"
+          in
           let snap = Metrics.snapshot reg in
           append_ledger
             (Ledger.make ~device:device.Hlsb_device.Device.name
@@ -548,15 +565,65 @@ let cmd_cc =
                ~stages:(stage_ms_of_session session)
                ~results:[ Core.Flow.result_to_json r ]
                ~cache:(cache_counters snap)
-               ~metrics:(Metrics.to_json snap) ~cmd:"cc" ~label:name ()));
-        print_endline (Core.Flow.summary r))
+               ~metrics:(Metrics.to_json snap) ~cmd:"cc" ~label ()));
+        print_endline (Core.Flow.summary r);
+        (match dump_after with
+        | None -> ()
+        | Some stage_s -> (
+          let stage = stage_of_string stage_s in
+          match Pipeline.dump_after ~plan session ~recipe stage with
+          | Error d -> fail_diag d
+          | Ok text ->
+            let path =
+              Printf.sprintf "%s.%s.dump.%s" (sanitize_filename name)
+                (Pipeline.stage_name stage)
+                (Pipeline.dump_extension stage)
+            in
+            write_text ~path text;
+            Printf.printf "wrote %s\n" path));
+        if explain then begin
+          print_newline ();
+          print_string (Pipeline.explain session)
+        end)
   in
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
   in
+  let transform_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "transform" ] ~docv:"PLAN"
+          ~doc:
+            "Source-to-source transform plan applied before elaboration: \
+             ';'-separated items, e.g. \
+             $(b,unroll=4;partition=cyclic:4;fission). $(b,channel-reuse) \
+             additionally merges duplicate-value channels in the elaborated \
+             network. Empty (default) compiles the source as written.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-after" ] ~docv:"STAGE"
+          ~doc:
+            "Write the named stage's artifact to \
+             $(b,NAME.STAGE.dump.EXT) in the current directory \
+             ($(b,transform) dumps the transformed C source). See \
+             $(b,hlsbc passes) for the stage list.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "After compiling, print the per-stage table of the run (ran / \
+             cached / skipped, wall-clock) and any diagnostics.")
+  in
   Cmd.v
     (Cmd.info "cc" ~doc:"Compile a C-subset source file through the flow")
-    Term.(const run $ common_term $ file_arg $ recipe_arg)
+    Term.(
+      const run $ common_term $ file_arg $ recipe_arg $ transform_arg $ dump_arg
+      $ explain_arg)
 
 let cmd_emit =
   let run name recipe fmt out =

@@ -1,0 +1,15 @@
+// A producer loop filling an intermediate array that the next loop
+// drains — the PPN-style pattern the stream-insertion transform targets:
+//   dune exec bin/hlsbc.exe -- cc examples/c/producer_consumer.c \
+//     --transform 'stream=tmp' --dump-after transform
+// turns tmp into a FIFO, so the two loops communicate element by element
+// instead of through a shared memory.
+void pc(stream<int> &in_fifo, stream<int> &out_fifo) {
+  int tmp[64];
+  for (int i = 0; i < 64; i++) {
+    tmp[i] = in_fifo.read() * 3;
+  }
+  for (int i = 0; i < 64; i++) {
+    out_fifo.write(tmp[i] + 1);
+  }
+}

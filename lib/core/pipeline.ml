@@ -9,6 +9,7 @@ module Sched_report = Hlsb_sched.Report
 module Style = Hlsb_ctrl.Style
 module Spec = Hlsb_designs.Spec
 module Dataflow = Hlsb_ir.Dataflow
+module Dag = Hlsb_ir.Dag
 module Kernel = Hlsb_ir.Kernel
 module Diag = Hlsb_util.Diag
 module Table = Hlsb_util.Table
@@ -17,10 +18,16 @@ module Metrics = Hlsb_telemetry.Metrics
 module Clock = Hlsb_telemetry.Clock
 module Json = Hlsb_telemetry.Json
 module Log = Hlsb_obs.Log
+module Ast = Hlsb_frontend.Ast
+module Frontend = Hlsb_frontend.Frontend
+module Pass = Hlsb_transform.Pass
+module Plan = Hlsb_transform.Plan
+module Reuse = Hlsb_transform.Reuse
 
 (* ---------------- stages ---------------- *)
 
 type stage =
+  | Transform
   | Elaborate
   | Classify
   | Schedule
@@ -30,9 +37,11 @@ type stage =
   | Sta
   | Report
 
-let stages = [ Elaborate; Classify; Schedule; Lower; Sync; Place; Sta; Report ]
+let stages =
+  [ Transform; Elaborate; Classify; Schedule; Lower; Sync; Place; Sta; Report ]
 
 let stage_name = function
+  | Transform -> "transform"
   | Elaborate -> "elaborate"
   | Classify -> "classify"
   | Schedule -> "schedule"
@@ -46,6 +55,8 @@ let stage_of_name n =
   List.find_opt (fun s -> stage_name s = n) stages
 
 let describe = function
+  | Transform ->
+    "apply the source-to-source transform plan (unroll/partition/fission/...)"
   | Elaborate -> "build the dataflow process network and validate it"
   | Classify -> "source-level broadcast classification (on demand)"
   | Schedule ->
@@ -148,9 +159,16 @@ type session = {
   ss_target_mhz : float option;
   ss_kernel_naming : bool;
   ss_build : unit -> Dataflow.t;
-  mutable ss_df : Dataflow.t option;
-  mutable ss_classify : Classify.report option;
-  mutable ss_scheds : (Style.sched_mode * Schedule.t option array) list;
+  ss_program : Ast.program option;
+      (** source program (cc sessions); [None] for IR-level sessions *)
+  ss_top : string option;
+  mutable ss_transformed : (string * Ast.program) list;
+      (** plan key -> transformed program *)
+  mutable ss_dfs : (string * Dataflow.t) list;  (** plan key -> network *)
+  mutable ss_classify : (string * Classify.report) list;  (** by plan key *)
+  mutable ss_scheds :
+    ((string * Style.sched_mode) * Schedule.t option array) list;
+      (** (plan key, sched mode) -> schedules *)
   mutable ss_compiled : (string * compiled) list;
   ss_counts : (string, int) Hashtbl.t;
   mutable ss_last : stage_record list;  (** reversed while a run records *)
@@ -164,13 +182,26 @@ let create ?target_mhz ~device ~name ~build () =
     ss_target_mhz = target_mhz;
     ss_kernel_naming = false;
     ss_build = build;
-    ss_df = None;
-    ss_classify = None;
+    ss_program = None;
+    ss_top = None;
+    ss_transformed = [];
+    ss_dfs = [];
+    ss_classify = [];
     ss_scheds = [];
     ss_compiled = [];
     ss_counts = Hashtbl.create 8;
     ss_last = [];
     ss_diags = [];
+  }
+
+let of_program ?target_mhz ?top ~device ~name program =
+  {
+    (create ?target_mhz ~device ~name
+       ~build:(fun () -> invalid_arg "program session has no IR build")
+       ())
+    with
+    ss_program = Some program;
+    ss_top = top;
   }
 
 let of_spec ?target_mhz (spec : Spec.t) =
@@ -252,14 +283,71 @@ let cached t stage =
 
 (* ---------------- cached upstream artifacts ---------------- *)
 
-let elaborate t ~recipe =
-  match t.ss_df with
+let plan_key plan = Plan.to_string plan
+
+let plan_has_source plan =
+  List.exists
+    (function Plan.Source _ | Plan.Pragmas -> true | Plan.Channel_reuse -> false)
+    plan
+
+(* The [transform] stage: source-level plan items applied to the
+   session's program, cached per canonical plan key. IR-level sessions
+   have no program: the stage is skipped for plans with no source items
+   (identity, pure channel-reuse) and fails for the rest. *)
+let transformed t ~recipe ~plan =
+  match t.ss_program with
+  | None ->
+    if plan_has_source plan then
+      raise
+        (Diag.Diagnostic
+           (Diag.error ~stage:"transform"
+              (Printf.sprintf
+                 "plan %S transforms source, but this session was built from \
+                  IR; source plans need a program session (hlsbc cc)"
+                 (Plan.to_string plan))))
+    else None
+  | Some program -> (
+    let key = plan_key plan in
+    match List.assoc_opt key t.ss_transformed with
+    | Some p ->
+      cached t Transform;
+      Some p
+    | None ->
+      exec t ~recipe Transform (fun () ->
+        (* surface unknown-pragma warnings once per plan, whether or not
+           the plan replays the pragmas as requests *)
+        let _, warns = Pass.requests_of_pragmas program in
+        List.iter (fun w -> t.ss_diags <- w :: t.ss_diags) warns;
+        match Plan.apply_source plan program with
+        | Ok p ->
+          t.ss_transformed <- (key, p) :: t.ss_transformed;
+          Some p
+        | Error d -> raise (Diag.Diagnostic d)))
+
+let elaborate ?(plan = Plan.identity) t ~recipe =
+  let prog = transformed t ~recipe ~plan in
+  let key = plan_key plan in
+  match List.assoc_opt key t.ss_dfs with
   | Some df ->
     cached t Elaborate;
     df
   | None ->
     exec t ~recipe Elaborate (fun () ->
-      let df = t.ss_build () in
+      let df =
+        match prog with
+        | None -> t.ss_build ()
+        | Some p -> (
+          match Frontend.design_of_program ?top:t.ss_top p with
+          | Ok df -> df
+          | Error e ->
+            raise
+              (Diag.Diagnostic
+                 (Diag.error ~stage:"elaborate"
+                    (Format.asprintf "%a" Frontend.pp_error e))))
+      in
+      let df =
+        if Plan.has_channel_reuse plan then fst (Reuse.run df) else df
+      in
       (match Dataflow.problems df with
       | [] -> ()
       | { Dataflow.pb_entity; pb_message } :: _ ->
@@ -270,12 +358,12 @@ let elaborate t ~recipe =
         in
         raise
           (Diag.Diagnostic (Diag.error ~entity ~stage:"elaborate" pb_message)));
-      t.ss_df <- Some df;
+      t.ss_dfs <- (key, df) :: t.ss_dfs;
       df)
 
-let scheduled t ~recipe df =
-  let mode = recipe.Style.sched in
-  match List.assoc_opt mode t.ss_scheds with
+let scheduled ?(plan = Plan.identity) t ~recipe df =
+  let key = (plan_key plan, recipe.Style.sched) in
+  match List.assoc_opt key t.ss_scheds with
   | Some scheds ->
     cached t Schedule;
     scheds
@@ -285,20 +373,21 @@ let scheduled t ~recipe df =
         Design.schedule_processes ?target_mhz:t.ss_target_mhz
           ~device:t.ss_device ~recipe df
       in
-      t.ss_scheds <- (mode, scheds) :: t.ss_scheds;
+      t.ss_scheds <- (key, scheds) :: t.ss_scheds;
       scheds)
 
-let classify_report t =
-  match t.ss_classify with
+let classify_report ?(plan = Plan.identity) t =
+  let key = plan_key plan in
+  match List.assoc_opt key t.ss_classify with
   | Some r ->
     cached t Classify;
     r
   | None ->
     let recipe = Style.original in
-    let df = elaborate t ~recipe in
+    let df = elaborate ~plan t ~recipe in
     exec t ~recipe Classify (fun () ->
       let r = Classify.analyze ~device:t.ss_device df in
-      t.ss_classify <- Some r;
+      t.ss_classify <- (key, r) :: t.ss_classify;
       r)
 
 (* ---------------- the full pipeline ---------------- *)
@@ -314,23 +403,58 @@ let effective_names ?name t ~recipe =
   in
   (label, netlist)
 
-let compile_key ~netlist_name recipe = Style.label recipe ^ "|" ^ netlist_name
+(* broadcast.* gauges: the source-level broadcast profile of the network
+   this run compiles — the quantity transform plans are meant to move.
+   Recorded per compile (inside whatever metrics registry is installed)
+   so a ledger record always reflects the compiled variant. *)
+let record_broadcast_gauges df =
+  if Metrics.enabled () then begin
+    let nodes = ref 0 and total = ref 0 and worst = ref 0 and banks = ref 0 in
+    Array.iter
+      (fun (p : Dataflow.process) ->
+        match p.Dataflow.p_kernel with
+        | None -> ()
+        | Some k ->
+          let dag = k.Kernel.dag in
+          Dag.iter dag (fun v ->
+            let reads = Dag.broadcast_factor dag v in
+            if reads >= 2 then begin
+              incr nodes;
+              total := !total + reads
+            end;
+            if reads > !worst then worst := reads);
+          Array.iter
+            (fun (b : Dag.buffer) -> banks := !banks + b.Dag.b_partition)
+            (Dag.buffers dag))
+      (Dataflow.processes df);
+    Metrics.set_gauge_int "broadcast.nodes" !nodes;
+    Metrics.set_gauge_int "broadcast.total_reads" !total;
+    Metrics.set_gauge_int "broadcast.worst_fanout" !worst;
+    Metrics.set_gauge_int "broadcast.mem_banks" !banks;
+    Metrics.set_gauge_int "broadcast.channels" (Dataflow.n_channels df)
+  end
 
-let compiled_exn ?name t ~recipe =
+let compile_key ~netlist_name ~plan recipe =
+  Style.label recipe ^ "|" ^ netlist_name
+  ^ match plan_key plan with "" -> "" | k -> "|" ^ k
+
+let compiled_exn ?name ?(plan = Plan.identity) t ~recipe =
   t.ss_last <- [];
   let label, netlist_name = effective_names ?name t ~recipe in
-  let key = compile_key ~netlist_name recipe in
+  let key = compile_key ~netlist_name ~plan recipe in
   match List.assoc_opt key t.ss_compiled with
   | Some c ->
+    if t.ss_program <> None then cached t Transform;
     List.iter
-      (fun s -> if s <> Classify then cached t s)
+      (fun s -> if s <> Classify && s <> Transform then cached t s)
       [ Elaborate; Schedule; Lower; Sync; Place; Sta; Report ];
     c
   | None ->
     Metrics.incr "pipeline.cache_misses";
     let body () =
-      let df = elaborate t ~recipe in
-      let scheds = scheduled t ~recipe df in
+      let df = elaborate ~plan t ~recipe in
+      record_broadcast_gauges df;
+      let scheds = scheduled ~plan t ~recipe df in
       let dp =
         exec t ~recipe Lower (fun () ->
           Design.lower_processes ~device:t.ss_device ~recipe ~name:netlist_name
@@ -377,10 +501,10 @@ let compiled_exn ?name t ~recipe =
           ]
         body
 
-let run_exn ?name t ~recipe = (compiled_exn ?name t ~recipe).co_result
+let run_exn ?name ?plan t ~recipe = (compiled_exn ?name ?plan t ~recipe).co_result
 
-let run ?name t ~recipe =
-  match run_exn ?name t ~recipe with
+let run ?name ?plan t ~recipe =
+  match run_exn ?name ?plan t ~recipe with
   | r -> Ok r
   | exception Diag.Diagnostic d -> Error d
 
@@ -447,6 +571,7 @@ let explain t =
 (* ---------------- artifact dumps ---------------- *)
 
 let dump_extension = function
+  | Transform -> "c"
   | Elaborate | Place | Sta | Report -> "json"
   | Classify | Schedule -> "txt"
   | Lower | Sync -> "dot"
@@ -510,16 +635,22 @@ let timing_to_json (r : Timing.report) =
              r.Timing.path) );
     ]
 
-let dump_after ?name t ~recipe stage =
+let dump_after ?name ?(plan = Plan.identity) t ~recipe stage =
   let render () =
     match stage with
+    | Transform -> (
+      match transformed t ~recipe ~plan with
+      | Some p -> Ast.to_source p
+      | None ->
+        "/* IR-level session: no source program to transform (source plans \
+         apply to hlsbc cc sessions) */\n")
     | Elaborate ->
-      let df = elaborate t ~recipe in
+      let df = elaborate ~plan t ~recipe in
       Json.to_string ~minify:false (dataflow_to_json df) ^ "\n"
-    | Classify -> Classify.to_string (classify_report t)
+    | Classify -> Classify.to_string (classify_report ~plan t)
     | Schedule ->
-      let df = elaborate t ~recipe in
-      let scheds = scheduled t ~recipe df in
+      let df = elaborate ~plan t ~recipe in
+      let scheds = scheduled ~plan t ~recipe df in
       let buf = Buffer.create 1024 in
       Array.iteri
         (fun p sched ->
@@ -535,8 +666,8 @@ let dump_after ?name t ~recipe stage =
     | Lower ->
       (* a fresh datapath: the cached design's netlist already carries the
          sync controllers, and this dump is specifically the pre-sync view *)
-      let df = elaborate t ~recipe in
-      let scheds = scheduled t ~recipe df in
+      let df = elaborate ~plan t ~recipe in
+      let scheds = scheduled ~plan t ~recipe df in
       let _, netlist_name = effective_names ?name t ~recipe in
       let dp =
         exec t ~recipe Lower (fun () ->
@@ -545,10 +676,10 @@ let dump_after ?name t ~recipe stage =
       in
       Export.to_dot dp.Design.dp_netlist
     | Sync ->
-      let c = compiled_exn ?name t ~recipe in
+      let c = compiled_exn ?name ~plan t ~recipe in
       Export.to_dot c.co_design.Design.netlist
     | Place ->
-      let c = compiled_exn ?name t ~recipe in
+      let c = compiled_exn ?name ~plan t ~recipe in
       Json.to_string ~minify:false
         (Json.Obj
            [
@@ -560,10 +691,10 @@ let dump_after ?name t ~recipe stage =
            ])
       ^ "\n"
     | Sta ->
-      let c = compiled_exn ?name t ~recipe in
+      let c = compiled_exn ?name ~plan t ~recipe in
       Json.to_string ~minify:false (timing_to_json c.co_timing) ^ "\n"
     | Report ->
-      let c = compiled_exn ?name t ~recipe in
+      let c = compiled_exn ?name ~plan t ~recipe in
       Json.to_string ~minify:false (result_to_json c.co_result) ^ "\n"
   in
   match render () with

@@ -24,6 +24,9 @@ module Diag = Hlsb_util.Diag
 (** {1 Stages} *)
 
 type stage =
+  | Transform
+      (** source-to-source transform plan (unroll / partition / fission /
+          fusion / stream insertion), {!Hlsb_transform.Plan.t}-keyed *)
   | Elaborate  (** build + validate the dataflow network *)
   | Classify  (** source-level broadcast classification (on demand) *)
   | Schedule  (** per-kernel chaining-aware scheduling *)
@@ -76,6 +79,21 @@ val create :
   unit ->
   session
 
+val of_program :
+  ?target_mhz:float ->
+  ?top:string ->
+  device:Hlsb_device.Device.t ->
+  name:string ->
+  Hlsb_frontend.Ast.program ->
+  session
+(** Session over a parsed source program — the [hlsbc cc] entry point.
+    Each compile may carry a transform {!Hlsb_transform.Plan.t}: the
+    [transform] stage applies its source items (cached per canonical plan
+    key), elaboration then runs [Frontend.design_of_program] on the
+    transformed program (plus the IR-level channel-reuse pass when the
+    plan asks for it). The identity plan compiles exactly what
+    [Frontend.design_of_string] would. *)
+
 val of_spec : ?target_mhz:float -> Hlsb_designs.Spec.t -> session
 (** Session elaborating the benchmark on its paper-designated device. *)
 
@@ -87,23 +105,35 @@ val of_kernel :
 
 val run :
   ?name:string ->
+  ?plan:Hlsb_transform.Plan.t ->
   session ->
   recipe:Hlsb_ctrl.Style.recipe ->
   (result, Diag.t) Stdlib.result
 (** Compile under [recipe], reusing every cached artifact the recipe
     permits. [?name] overrides the design name for this run only (the
     Fig-19 sweep labels each recipe point); it keys the downstream
-    artifact cache together with the recipe. No [Invalid_argument] or
-    [Failure] escapes: malformed inputs surface as [Error d] with stage
-    and entity names. *)
+    artifact cache together with the recipe. [?plan] (default identity)
+    selects the transform variant to compile: every artifact cache is
+    additionally keyed by the plan's canonical string, so recompiling a
+    plan hits cache end to end while a new plan shares nothing
+    downstream of the source. A plan with source items on an IR-level
+    session fails with a stage-["transform"] diagnostic. No
+    [Invalid_argument] or [Failure] escapes: malformed inputs surface as
+    [Error d] with stage and entity names. *)
 
-val run_exn : ?name:string -> session -> recipe:Hlsb_ctrl.Style.recipe -> result
+val run_exn :
+  ?name:string ->
+  ?plan:Hlsb_transform.Plan.t ->
+  session ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  result
 (** [run], raising [Diag.Diagnostic] on error (for drivers that only
     ever compile known-good designs). *)
 
-val classify_report : session -> Classify.report
-(** The [classify] stage: cached after the first call, counted in
-    {!stage_runs}. Raises [Diag.Diagnostic] if elaboration fails. *)
+val classify_report : ?plan:Hlsb_transform.Plan.t -> session -> Classify.report
+(** The [classify] stage: cached after the first call (per plan),
+    counted in {!stage_runs}. Raises [Diag.Diagnostic] if elaboration
+    fails. *)
 
 (** {1 Observability} *)
 
@@ -144,13 +174,15 @@ val dump_extension : stage -> string
 
 val dump_after :
   ?name:string ->
+  ?plan:Hlsb_transform.Plan.t ->
   session ->
   recipe:Hlsb_ctrl.Style.recipe ->
   stage ->
   (string, Diag.t) Stdlib.result
 (** Render the artifact produced by the given stage under [recipe]:
-    elaborate -> dataflow JSON; classify -> text report; schedule ->
-    per-kernel schedule reports; lower -> pre-sync netlist DOT; sync ->
-    full netlist DOT; place -> placement summary JSON; sta -> timing
-    report JSON; report -> result JSON. Runs (or reuses) exactly the
-    stages needed. *)
+    transform -> the transformed C source (a comment for IR-level
+    sessions); elaborate -> dataflow JSON; classify -> text report;
+    schedule -> per-kernel schedule reports; lower -> pre-sync netlist
+    DOT; sync -> full netlist DOT; place -> placement summary JSON; sta
+    -> timing report JSON; report -> result JSON. Runs (or reuses)
+    exactly the stages needed. *)

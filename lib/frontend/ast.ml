@@ -78,3 +78,232 @@ type func = {
 }
 
 type program = func list
+
+(* ---- source printer ----
+
+   Emits legal, re-parsable source: [parse (to_source p)] is structurally
+   equal to [p] for any parser-produced program. Two caveats, both outside
+   what the parser itself can produce: a negative [Int_const] re-parses as
+   [Unop (U_neg, ...)] and float literals are printed without exponents
+   (the lexer accepts only [digits.digits] forms). *)
+
+let ctype_to_string = function
+  | C_bool -> "bool"
+  | C_float -> "float"
+  | C_double -> "double"
+  | C_int (w, signed) ->
+    let base =
+      match w with
+      | 8 -> "char"
+      | 16 -> "short"
+      | 32 -> "int"
+      | 64 -> "long"
+      | w -> invalid_arg (Printf.sprintf "Ast.ctype_to_string: width %d" w)
+    in
+    if signed then base else "unsigned " ^ base
+
+(* The lexer has no exponent form, so floats must print as digits.digits. *)
+let float_literal v =
+  let s = Printf.sprintf "%.17g" v in
+  let plain =
+    if String.contains s 'e' || String.contains s 'n' || String.contains s 'i'
+    then Printf.sprintf "%.20f" v
+    else s
+  in
+  if String.contains plain '.' then plain else plain ^ ".0"
+
+let binop_prec = function
+  | B_lor -> 1
+  | B_land -> 2
+  | B_or -> 3
+  | B_xor -> 4
+  | B_and -> 5
+  | B_eq | B_ne -> 6
+  | B_lt | B_le | B_gt | B_ge -> 7
+  | B_shl | B_shr -> 8
+  | B_add | B_sub -> 9
+  | B_mul | B_div | B_mod -> 10
+
+let binop_to_string = function
+  | B_add -> "+"
+  | B_sub -> "-"
+  | B_mul -> "*"
+  | B_div -> "/"
+  | B_mod -> "%"
+  | B_and -> "&"
+  | B_or -> "|"
+  | B_xor -> "^"
+  | B_shl -> "<<"
+  | B_shr -> ">>"
+  | B_lt -> "<"
+  | B_le -> "<="
+  | B_gt -> ">"
+  | B_ge -> ">="
+  | B_eq -> "=="
+  | B_ne -> "!="
+  | B_land -> "&&"
+  | B_lor -> "||"
+
+let unop_to_string = function
+  | U_neg -> "-"
+  | U_lnot -> "!"
+  | U_bnot -> "~"
+  | U_addr -> "&"
+
+(* [level] is the minimum precedence the context requires; parenthesize
+   whenever this node binds looser. Parentheses are AST-transparent in the
+   parser, so extra ones never break the round trip. *)
+let rec expr_to_buf buf level e =
+  let paren needed body =
+    if level > needed then begin
+      Buffer.add_char buf '(';
+      body ();
+      Buffer.add_char buf ')'
+    end
+    else body ()
+  in
+  match e with
+  | Int_const v ->
+    if Int64.compare v 0L < 0 then begin
+      (* re-parses as U_neg of the magnitude; parser never produces this *)
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (Int64.to_string v);
+      Buffer.add_char buf ')'
+    end
+    else Buffer.add_string buf (Int64.to_string v)
+  | Float_const v -> Buffer.add_string buf (float_literal v)
+  | Var name -> Buffer.add_string buf name
+  | Field (base, f) ->
+    paren 12 (fun () ->
+      expr_to_buf buf 12 base;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf f)
+  | Index (base, idx) ->
+    paren 12 (fun () ->
+      expr_to_buf buf 12 base;
+      Buffer.add_char buf '[';
+      expr_to_buf buf 0 idx;
+      Buffer.add_char buf ']')
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    paren p (fun () ->
+      expr_to_buf buf p a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_to_string op);
+      Buffer.add_char buf ' ';
+      expr_to_buf buf (p + 1) b)
+  | Unop (op, a) ->
+    paren 11 (fun () ->
+      Buffer.add_string buf (unop_to_string op);
+      expr_to_buf buf 12 a)
+  | Ternary (c, t, f) ->
+    paren 0 (fun () ->
+      expr_to_buf buf 1 c;
+      Buffer.add_string buf " ? ";
+      expr_to_buf buf 1 t;
+      Buffer.add_string buf " : ";
+      expr_to_buf buf 1 f)
+  | Call (fn, args) ->
+    paren 12 (fun () ->
+      Buffer.add_string buf fn;
+      args_to_buf buf args)
+  | Method (obj, meth, args) ->
+    paren 12 (fun () ->
+      Buffer.add_string buf obj;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf meth;
+      args_to_buf buf args)
+
+and args_to_buf buf args =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf ", ";
+      expr_to_buf buf 0 a)
+    args;
+  Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr_to_buf buf 0 e;
+  Buffer.contents buf
+
+let rec stmt_to_buf buf indent s =
+  let pad () = Buffer.add_string buf (String.make indent ' ') in
+  let line fmt = Printf.ksprintf (fun t -> pad (); Buffer.add_string buf t; Buffer.add_char buf '\n') fmt in
+  match s with
+  | Decl (ty, name, size, init) ->
+    pad ();
+    Buffer.add_string buf (ctype_to_string ty);
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf name;
+    (match size with
+    | Some n -> Buffer.add_string buf (Printf.sprintf "[%d]" n)
+    | None -> ());
+    (match init with
+    | Some e ->
+      Buffer.add_string buf " = ";
+      expr_to_buf buf 0 e
+    | None -> ());
+    Buffer.add_string buf ";\n"
+  | Stream_decl (ty, name) -> line "stream<%s> %s;" (ctype_to_string ty) name
+  | Assign (lhs, rhs) -> line "%s = %s;" (expr_to_string lhs) (expr_to_string rhs)
+  | Plus_assign (lhs, rhs) ->
+    line "%s += %s;" (expr_to_string lhs) (expr_to_string rhs)
+  | Expr_stmt e -> line "%s;" (expr_to_string e)
+  | Return None -> line "return;"
+  | Return (Some e) -> line "return %s;" (expr_to_string e)
+  | Pragma_stmt p -> line "#pragma %s" p
+  | If (cond, then_, else_) ->
+    line "if (%s) {" (expr_to_string cond);
+    List.iter (stmt_to_buf buf (indent + 2)) then_;
+    if else_ = [] then line "}"
+    else begin
+      line "} else {";
+      List.iter (stmt_to_buf buf (indent + 2)) else_;
+      line "}"
+    end
+  | For fl ->
+    line "for (int %s = %Ld; %s < %Ld; %s++) {" fl.fl_var fl.fl_lo fl.fl_var
+      fl.fl_hi fl.fl_var;
+    (* leading pragmas re-attach to the loop via the parser's split_pragmas *)
+    List.iter
+      (fun p ->
+        Buffer.add_string buf (String.make (indent + 2) ' ');
+        Buffer.add_string buf ("#pragma " ^ p);
+        Buffer.add_char buf '\n')
+      fl.fl_pragmas;
+    List.iter (stmt_to_buf buf (indent + 2)) fl.fl_body;
+    line "}"
+
+let param_to_string = function
+  | P_stream (ty, name) -> Printf.sprintf "stream<%s> &%s" (ctype_to_string ty) name
+  | P_scalar (ty, name) -> Printf.sprintf "%s %s" (ctype_to_string ty) name
+  | P_array (ty, name, size) ->
+    Printf.sprintf "%s %s[%d]" (ctype_to_string ty) name size
+
+let func_to_buf buf f =
+  let ret = match f.f_ret with None -> "void" | Some t -> ctype_to_string t in
+  Buffer.add_string buf ret;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf f.f_name;
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (param_to_string p))
+    f.f_params;
+  Buffer.add_string buf ") {\n";
+  List.iter (stmt_to_buf buf 2) f.f_body;
+  Buffer.add_string buf "}\n"
+
+let to_source (p : program) =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf '\n';
+      func_to_buf buf f)
+    p;
+  Buffer.contents buf
+
+let pp fmt p = Format.pp_print_string fmt (to_source p)

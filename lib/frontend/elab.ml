@@ -26,6 +26,8 @@ type ctx = {
   dag : Dag.t;
   env : (string, binding) Hashtbl.t;
   lazy_inputs : (string, Dag.node) Hashtbl.t;
+  partitions : (string, int) Hashtbl.t;
+      (** array name -> cyclic partition factor, from array_partition pragmas *)
   mutable trip_count : int;
   mutable in_branch : bool;  (** side effects forbidden inside if-branches *)
 }
@@ -265,6 +267,45 @@ let pragma_factor p =
       | _ -> None)
     (pragma_words p)
 
+(* Raw (case-preserving) "key=value" lookup, for values that carry
+   identifiers — array names in [array_partition variable=NAME]. *)
+let pragma_value_raw key p =
+  String.split_on_char ' ' p
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+  |> List.find_map (fun w ->
+       match String.index_opt w '=' with
+       | Some i when String.lowercase_ascii (String.sub w 0 i) = key ->
+         Some (String.sub w (i + 1) (String.length w - i - 1))
+       | _ -> None)
+
+(* array_partition pragmas anywhere in the function body (free-standing or
+   attached to a loop) set the cyclic banking factor of the named buffer. *)
+let rec collect_partitions tbl stmts =
+  List.iter
+    (fun s ->
+      match s with
+      | Ast.Pragma_stmt p -> note_partition tbl p
+      | Ast.For fl ->
+        List.iter (note_partition tbl) fl.Ast.fl_pragmas;
+        collect_partitions tbl fl.Ast.fl_body
+      | Ast.If (_, t, e) ->
+        collect_partitions tbl t;
+        collect_partitions tbl e
+      | _ -> ())
+    stmts
+
+and note_partition tbl p =
+  if pragma_is "array_partition" p then
+    match (pragma_value_raw "variable" p, pragma_factor p) with
+    | Some name, Some f when f >= 1 -> Hashtbl.replace tbl name f
+    | _ -> ()
+
+let partition_of ctx name size =
+  match Hashtbl.find_opt ctx.partitions name with
+  | Some f -> max 1 (min f size)
+  | None -> 1
+
 let rec exec ctx (s : Ast.stmt) =
   match s with
   | Ast.Pragma_stmt _ -> () (* free-standing pragmas outside loops: ignored *)
@@ -290,7 +331,7 @@ let rec exec ctx (s : Ast.stmt) =
     if size >= buffer_threshold then begin
       let b =
         Dag.add_buffer ctx.dag ~name ~dtype:(dtype_of_ctype ty) ~depth:size
-          ~partition:1
+          ~partition:(partition_of ctx name size)
       in
       Hashtbl.replace ctx.env name (Buffer b)
     end
@@ -457,7 +498,7 @@ let bind_params ?(stream_names = fun s -> s) ctx params =
         if size >= buffer_threshold then begin
           let b =
             Dag.add_buffer ctx.dag ~name ~dtype:(dtype_of_ctype ty) ~depth:size
-              ~partition:1
+              ~partition:(partition_of ctx name size)
           in
           Hashtbl.replace ctx.env name (Buffer b)
         end
@@ -465,11 +506,14 @@ let bind_params ?(stream_names = fun s -> s) ctx params =
     params
 
 let kernel_of_func_named ?stream_names ~name _program (f : Ast.func) =
+  let partitions = Hashtbl.create 8 in
+  collect_partitions partitions f.Ast.f_body;
   let ctx =
     {
       dag = Dag.create ();
       env = Hashtbl.create 32;
       lazy_inputs = Hashtbl.create 32;
+      partitions;
       trip_count = 1;
       in_branch = false;
     }

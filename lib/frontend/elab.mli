@@ -23,3 +23,15 @@ val dataflow_of_func : Ast.program -> Ast.func -> Hlsb_ir.Dataflow.t
 val buffer_threshold : int
 (** Array size (elements) at or above which a local array maps to BRAM
     rather than a register file. *)
+
+val pragma_is : string -> string -> bool
+(** [pragma_is kind p] — the pragma text [p] is [#pragma HLS <kind> ...]
+    (case-insensitive, requires the "hls" prefix word). *)
+
+val pragma_factor : string -> int option
+(** [factor=N] value of a pragma, if present and well-formed. *)
+
+val pragma_value_raw : string -> string -> string option
+(** [pragma_value_raw key p] — the case-preserved value of [key=value]
+    in pragma text [p] (keys matched case-insensitively). Use for values
+    that name identifiers, e.g. [variable=NAME]. *)

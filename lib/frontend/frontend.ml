@@ -27,9 +27,8 @@ let has_dataflow_pragma (f : Ast.func) =
       | _ -> false)
     f.Ast.f_body
 
-let kernel_of_string ?name src =
+let kernel_of_program ?name program =
   wrap (fun () ->
-    let program = Parser.program (Lexer.tokenize src) in
     let f =
       match name with
       | Some n -> (
@@ -48,24 +47,14 @@ let kernel_of_string ?name src =
     in
     Elab.kernel_of_func program f)
 
-let design_of_string ?top src =
-  wrap (fun () ->
-    let program = Parser.program (Lexer.tokenize src) in
-    let top_f =
-      match top with
-      | Some n -> (
-        match List.find_opt (fun f -> f.Ast.f_name = n) program with
-        | Some f -> f
-        | None -> raise (Elab.Error (Printf.sprintf "no function named %s" n)))
-      | None -> (
-        match List.filter has_dataflow_pragma program with
-        | [ f ] -> f
-        | [] -> (
-          match List.rev program with
-          | f :: _ -> f
-          | [] -> raise (Elab.Error "empty program"))
-        | _ -> raise (Elab.Error "several dataflow regions; pass ~top"))
-    in
+let kernel_of_string ?name src =
+  match parse src with
+  | Error e -> Error e
+  | Ok program -> kernel_of_program ?name program
+
+(* Elaborate a chosen top function into a dataflow network; raises the
+   Elab/parser exceptions, [wrap] at the callers turns them into errors. *)
+let design_of_top program top_f =
     if has_dataflow_pragma top_f then Elab.dataflow_of_func program top_f
     else begin
       (* wrap a single kernel into a one-process network *)
@@ -83,9 +72,12 @@ let design_of_string ?top src =
           Hashtbl.replace writes (Dag.fifo dag f).Dag.f_name
             (Dag.fifo dag f).Dag.f_dtype
         | _ -> ());
+      (* a fifo both written and read by the kernel is internal (stream
+         insertion creates these): it is not a port of the network *)
       Hashtbl.iter
         (fun name dtype ->
-          ignore (Dataflow.add_channel df ~name ~src:(-1) ~dst:p ~dtype ()))
+          if not (Hashtbl.mem writes name) then
+            ignore (Dataflow.add_channel df ~name ~src:(-1) ~dst:p ~dtype ()))
         reads;
       Hashtbl.iter
         (fun name dtype ->
@@ -93,4 +85,28 @@ let design_of_string ?top src =
             ignore (Dataflow.add_channel df ~name ~src:p ~dst:(-1) ~dtype ()))
         writes;
       df
-    end)
+    end
+
+let design_of_program ?top program =
+  wrap (fun () ->
+    let top_f =
+      match top with
+      | Some n -> (
+        match List.find_opt (fun f -> f.Ast.f_name = n) program with
+        | Some f -> f
+        | None -> raise (Elab.Error (Printf.sprintf "no function named %s" n)))
+      | None -> (
+        match List.filter has_dataflow_pragma program with
+        | [ f ] -> f
+        | [] -> (
+          match List.rev program with
+          | f :: _ -> f
+          | [] -> raise (Elab.Error "empty program"))
+        | _ -> raise (Elab.Error "several dataflow regions; pass ~top"))
+    in
+    design_of_top program top_f)
+
+let design_of_string ?top src =
+  match parse src with
+  | Error e -> Error e
+  | Ok program -> design_of_program ?top program

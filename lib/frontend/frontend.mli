@@ -37,14 +37,27 @@ val pp_error : Format.formatter -> error -> unit
 val parse : string -> (Ast.program, error) result
 (** Lex + parse. *)
 
+val has_dataflow_pragma : Ast.func -> bool
+(** The function body carries a [#pragma HLS dataflow]. *)
+
+val kernel_of_program :
+  ?name:string -> Ast.program -> (Hlsb_ir.Kernel.t, error) result
+(** Elaborate an already-parsed program containing exactly one kernel
+    function (or, with [name], the named function) to a kernel. Programs
+    produced by {!Hlsb_transform} plans flow through here unchanged. *)
+
 val kernel_of_string :
   ?name:string -> string -> (Hlsb_ir.Kernel.t, error) result
 (** Compile source text containing exactly one kernel function (or, with
     [name], the named function) to a kernel. *)
 
+val design_of_program :
+  ?top:string -> Ast.program -> (Hlsb_ir.Dataflow.t, error) result
+(** Elaborate an already-parsed (and possibly transformed) program whose
+    [top] function (default: the last function, or the only
+    [#pragma HLS dataflow] function) describes a dataflow network; a
+    single kernel function is wrapped into a one-process network. *)
+
 val design_of_string :
   ?top:string -> string -> (Hlsb_ir.Dataflow.t, error) result
-(** Compile source text whose [top] function (default: the last function,
-    or the only [#pragma HLS dataflow] function) describes a dataflow
-    network; a single kernel function is wrapped into a one-process
-    network. *)
+(** [parse] + {!design_of_program}. *)

@@ -1,0 +1,187 @@
+open Hlsb_ir
+
+type result = {
+  ex_outputs : (string * int64 list) list;
+  ex_reads : (string * int) list;
+  ex_leftover : (string * int) list;
+}
+
+exception Stuck of string
+
+let stuck fmt = Printf.ksprintf (fun s -> raise (Stuck s)) fmt
+
+let mask_of w =
+  if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+(* Arithmetic is evaluated at full int64 width: both sides of an
+   equivalence check run the same operators on the same token values, so
+   a shared overflow convention is all that correctness needs. *)
+let eval_op dag v op args =
+  let bool b = if b then 1L else 0L in
+  let f = Int64.float_of_bits and fb = Int64.bits_of_float in
+  let icmp c a b =
+    match c with
+    | Op.Lt -> a < b
+    | Op.Le -> a <= b
+    | Op.Gt -> a > b
+    | Op.Ge -> a >= b
+    | Op.Eq -> a = b
+    | Op.Ne -> Int64.compare a b <> 0
+  in
+  match (op, args) with
+  | Op.Add, [ a; b ] -> Int64.add a b
+  | Op.Sub, [ a; b ] -> Int64.sub a b
+  | Op.Mul, [ a; b ] -> Int64.mul a b
+  | Op.Div, [ a; b ] -> if b = 0L then 0L else Int64.div a b
+  | Op.Fadd, [ a; b ] -> fb (f a +. f b)
+  | Op.Fsub, [ a; b ] -> fb (f a -. f b)
+  | Op.Fmul, [ a; b ] -> fb (f a *. f b)
+  | Op.Fdiv, [ a; b ] -> fb (f a /. f b)
+  | Op.And_, [ a; b ] -> Int64.logand a b
+  | Op.Or_, [ a; b ] -> Int64.logor a b
+  | Op.Xor, [ a; b ] -> Int64.logxor a b
+  | Op.Not, [ a ] -> Int64.lognot a
+  | Op.Shl, [ a; b ] -> Int64.shift_left a (Int64.to_int b land 63)
+  | Op.Shr, [ a; b ] -> (
+    let s = Int64.to_int b land 63 in
+    match Dag.dtype dag v with
+    | Dtype.Uint _ -> Int64.shift_right_logical a s
+    | _ -> Int64.shift_right a s)
+  | Op.Icmp c, [ a; b ] -> bool (icmp c a b)
+  | Op.Fcmp c, [ a; b ] -> bool (icmp c (fb (f a)) (fb (f b)))
+  | Op.Select, [ c; a; b ] -> if c <> 0L then a else b
+  | Op.Min, [ a; b ] -> if a < b then a else b
+  | Op.Max, [ a; b ] -> if a > b then a else b
+  | Op.Abs, [ a ] -> Int64.abs a
+  | Op.Log2, [ a ] ->
+    if a <= 0L then 0L
+    else begin
+      let r = ref 0 in
+      let x = ref a in
+      while !x > 1L do
+        x := Int64.shift_right_logical !x 1;
+        incr r
+      done;
+      Int64.of_int !r
+    end
+  | Op.Concat, args ->
+    List.fold_left2
+      (fun acc node value ->
+        let w = min 63 (Dtype.width (Dag.dtype dag node)) in
+        Int64.logor (Int64.shift_left acc w) (Int64.logand value (mask_of w)))
+      0L (Dag.args dag v) args
+  | Op.Slice (hi, lo), [ a ] ->
+    Int64.logand (Int64.shift_right_logical a lo) (mask_of (hi - lo + 1))
+  | op, args ->
+    stuck "operator %s applied to %d argument(s)" (Op.to_string op)
+      (List.length args)
+
+let run dag ~inputs =
+  let fifos = Dag.fifos dag in
+  let nf = Array.length fifos in
+  let written = Array.make nf false and read_too = Array.make nf false in
+  Dag.iter dag (fun v ->
+    match Dag.kind dag v with
+    | Dag.Fifo_read f -> read_too.(f) <- true
+    | Dag.Fifo_write f -> written.(f) <- true
+    | _ -> ());
+  let queues = Array.init nf (fun _ -> Queue.create ()) in
+  let logs = Array.make nf [] in
+  let reads = Array.make nf 0 in
+  let mems : (int * int64, int64) Hashtbl.t = Hashtbl.create 64 in
+  let named_outputs = ref [] in
+  let values = Array.make (Dag.n_nodes dag) 0L in
+  Dag.iter dag (fun v ->
+    let args = List.map (fun a -> values.(a)) (Dag.args dag v) in
+    let r =
+      match (Dag.kind dag v, args) with
+      | Dag.Input name, [] -> inputs ("input:" ^ name) 0
+      | Dag.Const c, [] -> c
+      | Dag.Operation op, args -> eval_op dag v op args
+      | Dag.Load b, [ idx ] -> (
+        match Hashtbl.find_opt mems (b, idx) with
+        | Some x -> x
+        | None -> 0L)
+      | Dag.Store b, [ idx; x ] ->
+        Hashtbl.replace mems (b, idx) x;
+        x
+      | Dag.Fifo_read f, [] ->
+        let name = fifos.(f).Dag.f_name in
+        if written.(f) then (
+          match Queue.take_opt queues.(f) with
+          | Some x -> x
+          | None -> stuck "read of internal fifo %s before any write" name)
+        else begin
+          let i = reads.(f) in
+          reads.(f) <- i + 1;
+          inputs name i
+        end
+      | Dag.Fifo_write f, [ x ] ->
+        if read_too.(f) then Queue.push x queues.(f)
+        else logs.(f) <- x :: logs.(f);
+        x
+      | Dag.Output name, [ x ] ->
+        named_outputs := ("return:" ^ name, [ x ]) :: !named_outputs;
+        x
+      | _, args -> stuck "node %d has unexpected arity %d" v (List.length args)
+    in
+    values.(v) <- r);
+  let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let collect pred f =
+    let acc = ref [] in
+    Array.iteri
+      (fun i fifo ->
+        if pred i then acc := (fifo.Dag.f_name, f i) :: !acc)
+      fifos;
+    !acc
+  in
+  {
+    ex_outputs =
+      by_name
+        (collect
+           (fun i -> written.(i) && not read_too.(i))
+           (fun i -> List.rev logs.(i))
+        @ !named_outputs);
+    ex_reads =
+      by_name (collect (fun i -> read_too.(i) && not written.(i)) (fun i -> reads.(i)));
+    ex_leftover =
+      by_name
+        (List.filter
+           (fun (_, n) -> n > 0)
+           (collect
+              (fun i -> written.(i) && read_too.(i))
+              (fun i -> Queue.length queues.(i))));
+  }
+
+let diff a b =
+  let show l =
+    let l = if List.length l > 8 then List.filteri (fun i _ -> i < 8) l else l in
+    "[" ^ String.concat ";" (List.map Int64.to_string l) ^ "]"
+  in
+  let rec streams = function
+    | [], [] -> None
+    | (n, _) :: _, [] | [], (n, _) :: _ ->
+      Some (Printf.sprintf "output stream %s exists on only one side" n)
+    | (n0, v0) :: r0, (n1, v1) :: r1 ->
+      if n0 <> n1 then
+        Some (Printf.sprintf "output streams differ: %s vs %s" n0 n1)
+      else if v0 <> v1 then
+        Some
+          (Printf.sprintf "stream %s delivered %s vs %s" n0 (show v0) (show v1))
+      else streams (r0, r1)
+  in
+  match streams (a.ex_outputs, b.ex_outputs) with
+  | Some _ as d -> d
+  | None ->
+    if a.ex_reads <> b.ex_reads then
+      Some
+        (Printf.sprintf "input consumption differs: %s vs %s"
+           (String.concat ","
+              (List.map (fun (n, c) -> Printf.sprintf "%s:%d" n c) a.ex_reads))
+           (String.concat ","
+              (List.map (fun (n, c) -> Printf.sprintf "%s:%d" n c) b.ex_reads)))
+    else (
+      match (a.ex_leftover, b.ex_leftover) with
+      | [], [] -> None
+      | (n, k) :: _, _ | _, (n, k) :: _ ->
+        Some (Printf.sprintf "internal fifo %s left %d undrained token(s)" n k))

@@ -1,0 +1,41 @@
+(** Deterministic reference evaluator for kernel DAGs — the semantic
+    ground truth of the transform-equivalence oracle.
+
+    [run] evaluates every node of a {!Hlsb_ir.Dag.t} once, in topological
+    (= id) order — one "firing" of the kernel. External input FIFOs (read
+    but never written in the DAG) draw an unbounded stream from the
+    [inputs] function; FIFOs both written and read are internal (stream
+    insertion creates these) and behave as queues whose reads pop earlier
+    writes of the same firing. Buffers are zero-initialized word stores.
+
+    Two programs are Kahn-equivalent for the oracle when their [run]
+    results agree per stream: same values in the same order on every
+    external output, same read counts on every external input, and no
+    tokens stranded in internal FIFOs. Cross-stream interleaving is
+    deliberately not compared — fission/fusion legally reorder accesses
+    to {e distinct} streams. *)
+
+type result = {
+  ex_outputs : (string * int64 list) list;
+      (** per external output FIFO (written, never read): values in write
+          order; [Output] nodes appear as [("return:" ^ name, [v])].
+          Sorted by name. *)
+  ex_reads : (string * int) list;
+      (** per external input FIFO: how many tokens were consumed. Sorted. *)
+  ex_leftover : (string * int) list;
+      (** internal FIFOs holding undrained tokens after the firing (only
+          non-empty ones listed). Sorted. *)
+}
+
+exception Stuck of string
+(** A read of an internal FIFO found its queue empty: the DAG's
+    topological order runs a consumer before its producer has written. *)
+
+val run : Hlsb_ir.Dag.t -> inputs:(string -> int -> int64) -> result
+(** [run dag ~inputs] with [inputs name idx] supplying token [idx] of
+    external input FIFO [name] (and the value of [Input] nodes, queried
+    as ["input:" ^ name] at index 0). Raises {!Stuck} as above. *)
+
+val diff : result -> result -> string option
+(** [None] when equivalent in the sense above; otherwise a one-line
+    description of the first divergence found. *)

@@ -1,5 +1,6 @@
 module Rng = Hlsb_util.Rng
 module Json = Hlsb_telemetry.Json
+module Plan = Hlsb_transform.Plan
 open Hlsb_ir
 
 type gate =
@@ -37,20 +38,31 @@ type kern_case = {
   kc_shape : kern_shape;
 }
 
+type src_case = {
+  sc_seed : int;
+  sc_strands : int;
+  sc_trips : int;
+  sc_big : bool;
+  sc_plan : string;
+}
+
 type t =
   | Pipe of pipe_case
   | Net of net_case
   | Kern of kern_case
+  | Src of src_case
 
 type kind =
   | Kpipe
   | Knet
   | Kkern
+  | Ksrc
 
 let kind_of = function
   | Pipe _ -> Kpipe
   | Net _ -> Knet
   | Kern _ -> Kkern
+  | Src _ -> Ksrc
 
 let recipes =
   let open Hlsb_ctrl.Style in
@@ -97,10 +109,19 @@ let valid_kern c =
   && c.kc_recipe >= 0
   && c.kc_recipe < Array.length recipes
 
+let valid_src c =
+  c.sc_seed >= 0
+  && c.sc_strands >= 1
+  && c.sc_strands <= 3
+  && c.sc_trips >= 2
+  && c.sc_trips <= 8
+  && match Plan.of_string c.sc_plan with Ok _ -> true | Error _ -> false
+
 let valid = function
   | Pipe c -> valid_pipe c
   | Net c -> valid_net c
   | Kern c -> valid_kern c
+  | Src c -> valid_src c
 
 (* ---------------- deterministic builders ---------------- *)
 
@@ -230,6 +251,86 @@ let build_kernel (c : kern_case) =
   | Sdag -> build_dag c
   | Swide -> build_wide c
 
+(* Source programs are independent "strands" — each a stream-in/stream-out
+   flow with its own loops — so fission, fusion and stream insertion have
+   genuine targets and per-stream (Kahn) semantics is well-defined. The
+   text is deterministic in the case; the transform plan rides along as
+   its canonical string. *)
+
+let src_shape rng = Rng.int rng 4
+
+let src_strand b ~params ~shape ~s ~t ~k =
+  let p name = Buffer.add_string params (Printf.sprintf "stream<int> &%s, " name) in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  match shape with
+  | 0 ->
+    (* stream-insertable: intermediate array between twin loops *)
+    p (Printf.sprintf "in%d" s);
+    p (Printf.sprintf "out%d" s);
+    line "  int t%d[%d];" s t;
+    line "  for (int i%d = 0; i%d < %d; i%d++) {" s s t s;
+    line "    t%d[i%d] = in%d.read() * %d + %d;" s s s (k ()) (k ());
+    line "  }";
+    line "  for (int i%d = 0; i%d < %d; i%d++) {" s s t s;
+    line "    out%d.write(t%d[i%d] + %d);" s s s (k ());
+    line "  }"
+  | 1 ->
+    (* straight-through single loop *)
+    p (Printf.sprintf "in%d" s);
+    p (Printf.sprintf "out%d" s);
+    line "  for (int i%d = 0; i%d < %d; i%d++) {" s s t s;
+    line "    int v%d = in%d.read();" s s;
+    line "    out%d.write(v%d * %d - %d);" s s (k ()) (k ());
+    line "  }"
+  | 2 ->
+    (* fission target: two stream-disjoint statements in one loop *)
+    p (Printf.sprintf "in%d" s);
+    p (Printf.sprintf "inx%d" s);
+    p (Printf.sprintf "out%d" s);
+    p (Printf.sprintf "outx%d" s);
+    line "  for (int i%d = 0; i%d < %d; i%d++) {" s s t s;
+    line "    out%d.write(in%d.read() + %d);" s s (k ());
+    line "    outx%d.write(inx%d.read() * %d);" s s (k ());
+    line "  }"
+  | _ ->
+    (* fusion target: adjacent twin-header loops over disjoint streams *)
+    p (Printf.sprintf "in%d" s);
+    p (Printf.sprintf "inx%d" s);
+    p (Printf.sprintf "out%d" s);
+    p (Printf.sprintf "outx%d" s);
+    line "  for (int i%d = 0; i%d < %d; i%d++) {" s s t s;
+    line "    out%d.write(in%d.read() + %d);" s s (k ());
+    line "  }";
+    line "  for (int i%d = 0; i%d < %d; i%d++) {" s s t s;
+    line "    outx%d.write(inx%d.read() - %d);" s s (k ());
+    line "  }"
+
+let src_source (c : src_case) =
+  let rng = Rng.create c.sc_seed in
+  let k () = 1 + Rng.int rng 9 in
+  let body = Buffer.create 512 and params = Buffer.create 128 in
+  for s = 0 to c.sc_strands - 1 do
+    src_strand body ~params ~shape:(src_shape rng) ~s ~t:c.sc_trips ~k
+  done;
+  if c.sc_big then begin
+    (* one BRAM-sized strand (>= Elab.buffer_threshold words) so cyclic
+       partitioning has a legal target *)
+    Buffer.add_string params "stream<int> &inb, stream<int> &outb, ";
+    Buffer.add_string body
+      (Printf.sprintf
+         "  int tb[256];\n\
+         \  for (int ib = 0; ib < 256; ib++) {\n\
+         \    tb[ib] = inb.read() + %d;\n\
+         \  }\n\
+         \  for (int ib = 0; ib < 256; ib++) {\n\
+         \    outb.write(tb[ib] * %d);\n\
+         \  }\n"
+         (k ()) (k ()))
+  end;
+  let params = Buffer.contents params in
+  let params = String.sub params 0 (String.length params - 2) in
+  Printf.sprintf "void fz(%s) {\n%s}\n" params (Buffer.contents body)
+
 (* ---------------- generation ---------------- *)
 
 let gen_pipe rng =
@@ -277,11 +378,58 @@ let gen_kern rng =
     kc_shape = (if Rng.int rng 4 = 0 then Swide else Sdag);
   }
 
+let gen_src rng =
+  let sc_seed = Rng.int rng 1_000_000 in
+  let sc_strands = 1 + Rng.int rng 3 in
+  let sc_trips = [| 2; 3; 4; 6; 8 |].(Rng.int rng 5) in
+  let sc_big = Rng.int rng 4 = 0 in
+  (* item pool over names the source can actually contain; inapplicable
+     picks are still legal plans (the oracle treats their structured
+     rejection as a pass) *)
+  let strand () = Rng.int rng sc_strands in
+  let factor () = if Rng.bool rng then 2 else sc_trips in
+  let pool =
+    [|
+      (fun () -> Printf.sprintf "unroll=%d" (factor ()));
+      (fun () -> Printf.sprintf "unroll=i%d:%d" (strand ()) (factor ()));
+      (fun () -> "fission");
+      (fun () -> Printf.sprintf "fission=i%d" (strand ()));
+      (fun () -> "fusion");
+      (fun () -> Printf.sprintf "fusion=i%d" (strand ()));
+      (fun () -> "stream");
+      (fun () -> Printf.sprintf "stream=t%d" (strand ()));
+      (fun () -> "pragmas");
+    |]
+  in
+  let big_pool =
+    [|
+      (fun () -> "partition=cyclic:2");
+      (fun () -> Printf.sprintf "partition=cyclic:tb:%d" (1 lsl (1 + Rng.int rng 3)));
+      (fun () -> "stream=tb");
+      (fun () -> "unroll=ib:4");
+    |]
+  in
+  let n_items = Rng.int rng 3 in
+  let items =
+    List.init n_items (fun _ ->
+      if sc_big && Rng.int rng 3 = 0 then
+        big_pool.(Rng.int rng (Array.length big_pool)) ()
+      else pool.(Rng.int rng (Array.length pool)) ())
+  in
+  {
+    sc_seed;
+    sc_strands;
+    sc_trips;
+    sc_big;
+    sc_plan = String.concat ";" (List.sort_uniq compare items);
+  }
+
 let generate kind rng =
   match kind with
   | Kpipe -> Pipe (gen_pipe rng)
   | Knet -> Net (gen_net rng)
   | Kkern -> Kern (gen_kern rng)
+  | Ksrc -> Src (gen_src rng)
 
 (* ---------------- serialization ---------------- *)
 
@@ -340,6 +488,16 @@ let to_json = function
            | Sdag -> []
            | Swide -> [ ("shape", Json.Str "wide") ]);
          ])
+  | Src c ->
+    Json.Obj
+      [
+        ("kind", Json.Str "src");
+        ("seed", Json.Int c.sc_seed);
+        ("strands", Json.Int c.sc_strands);
+        ("trips", Json.Int c.sc_trips);
+        ("big", Json.Bool c.sc_big);
+        ("plan", Json.Str c.sc_plan);
+      ]
 
 let get_int j key =
   match Json.member key j with
@@ -446,6 +604,22 @@ let of_json j =
         | Some _ -> Error "bad kern shape"
       in
       Ok (Kern { kc_seed; kc_ops; kc_width; kc_recipe; kc_shape })
+    | Some (Json.Str "src") ->
+      let* sc_seed = get_int j "seed" in
+      let* sc_strands = get_int j "strands" in
+      let* sc_trips = get_int j "trips" in
+      let* sc_big =
+        match Json.member "big" j with
+        | Some (Json.Bool b) -> Ok b
+        | None -> Ok false
+        | Some _ -> Error "bad big flag"
+      in
+      let* sc_plan =
+        match Json.member "plan" j with
+        | Some (Json.Str s) -> Ok s
+        | _ -> Error "missing plan field"
+      in
+      Ok (Src { sc_seed; sc_strands; sc_trips; sc_big; sc_plan })
     | _ -> Error "unknown or missing case kind"
   in
   let* case = case in
@@ -474,3 +648,8 @@ let to_string = function
       (match c.kc_shape with
       | Sdag -> ""
       | Swide -> " shape=wide")
+  | Src c ->
+    Printf.sprintf "src{seed=%d strands=%d trips=%d%s plan=%S}" c.sc_seed
+      c.sc_strands c.sc_trips
+      (if c.sc_big then " big" else "")
+      c.sc_plan

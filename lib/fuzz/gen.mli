@@ -62,15 +62,27 @@ type kern_case = {
           load *)
 }
 
+type src_case = {
+  sc_seed : int;  (** program-shape and constant seed *)
+  sc_strands : int;  (** independent stream-in/stream-out flows, 1..3 *)
+  sc_trips : int;  (** loop trip count, 2..8 *)
+  sc_big : bool;
+      (** append a BRAM-sized strand (256-word intermediate array) so
+          cyclic partitioning has a legal target *)
+  sc_plan : string;  (** transform plan, {!Hlsb_transform.Plan} grammar *)
+}
+
 type t =
   | Pipe of pipe_case
   | Net of net_case
   | Kern of kern_case
+  | Src of src_case
 
 type kind =
   | Kpipe
   | Knet
   | Kkern
+  | Ksrc
 
 val kind_of : t -> kind
 val generate : kind -> Rng.t -> t
@@ -94,6 +106,14 @@ val build_net : net_case -> Hlsb_ir.Dataflow.t
 val build_kernel : kern_case -> Hlsb_ir.Kernel.t
 (** Random op DAG between input and output FIFOs; passes
     [Dag.validate] (enforced by [Kernel.create]). *)
+
+val src_source : src_case -> string
+(** Deterministic C-subset source for the case: one kernel of
+    [sc_strands] independent stream flows whose shapes give the
+    transform passes genuine targets (intermediate arrays for [stream=],
+    split-point loops for [fission], twin-header loop pairs for
+    [fusion]). The text always parses; the case's plan may still be
+    inapplicable to it, which the transform oracle treats as a pass. *)
 
 val recipes : Hlsb_ctrl.Style.recipe array
 (** The four recipe corners ([original], [optimized], sched-only,

@@ -4,6 +4,9 @@ module Skid = Hlsb_ctrl.Skid
 module Pool = Hlsb_util.Pool
 module Json = Hlsb_telemetry.Json
 module Device = Hlsb_device.Device
+module Frontend = Hlsb_frontend.Frontend
+module Kernel = Hlsb_ir.Kernel
+module Plan = Hlsb_transform.Plan
 
 type verdict =
   | Pass
@@ -14,20 +17,23 @@ type name =
   | Network
   | Cache
   | Jobs
+  | Transform
 
-let all = [ Stall_skid; Network; Cache; Jobs ]
+let all = [ Stall_skid; Network; Cache; Jobs; Transform ]
 
 let to_string = function
   | Stall_skid -> "stall-skid"
   | Network -> "network"
   | Cache -> "cache"
   | Jobs -> "jobs"
+  | Transform -> "transform"
 
 let of_string = function
   | "stall-skid" -> Some Stall_skid
   | "network" -> Some Network
   | "cache" -> Some Cache
   | "jobs" -> Some Jobs
+  | "transform" -> Some Transform
   | _ -> None
 
 let describe = function
@@ -39,11 +45,15 @@ let describe = function
      sync:false reference (§4.2)"
   | Cache -> "Core.Pipeline cached sessions byte-match fresh compiles"
   | Jobs -> "compile results are invariant under the Pool job count"
+  | Transform ->
+    "transform plans preserve per-stream semantics: transformed kernels \
+     match the baseline under Exec, and their networks still complete"
 
 let kind = function
   | Stall_skid -> Gen.Kpipe
   | Network -> Gen.Knet
   | Cache | Jobs -> Gen.Kkern
+  | Transform -> Gen.Ksrc
 
 let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
 
@@ -250,13 +260,82 @@ let check_jobs (c : Gen.kern_case) =
         (Hlsb_ctrl.Style.label Gen.recipes.(jobs_recipes.(i)))
     | None -> Pass)
 
+(* ---------------- transform semantic equivalence ---------------- *)
+
+let show_frontend_error e = Format.asprintf "%a" Frontend.pp_error e
+
+(* Baseline and transformed programs must agree stream-for-stream under
+   the Exec reference semantics; an inapplicable plan item is a legal
+   outcome (a structured stage:"transform" rejection), not a divergence. *)
+let check_transform (c : Gen.src_case) =
+  let src = Gen.src_source c in
+  match Frontend.parse src with
+  | Error e -> failf "generated source does not parse: %s" (show_frontend_error e)
+  | Ok program -> (
+    match Plan.of_string c.Gen.sc_plan with
+    | Error msg -> failf "generated plan does not parse: %s" msg
+    | Ok plan -> (
+      match Plan.apply_source plan program with
+      | Error _ -> Pass
+      | Ok program' -> (
+        let kernel label p =
+          match Frontend.kernel_of_program p with
+          | Ok k -> Ok k
+          | Error e ->
+            Error
+              (Printf.sprintf "%s does not elaborate: %s" label
+                 (show_frontend_error e))
+        in
+        match (kernel "baseline" program, kernel "transformed program" program') with
+        | Error m, _ | _, Error m -> Fail m
+        | Ok k0, Ok k1 -> (
+          let inputs name i =
+            Int64.of_int (Hashtbl.hash (c.Gen.sc_seed, name, i) land 0xFFFF)
+          in
+          let r0 = Exec.run k0.Kernel.dag ~inputs in
+          let r1 = Exec.run k1.Kernel.dag ~inputs in
+          match Exec.diff r0 r1 with
+          | Some msg ->
+            failf "plan %S broke stream semantics: %s" c.Gen.sc_plan msg
+          | None -> (
+            (* the transformed program must still form a live network *)
+            match Frontend.design_of_program program' with
+            | Error e ->
+              failf "transformed design does not elaborate: %s"
+                (show_frontend_error e)
+            | Ok df ->
+              let r =
+                Network.run df ~tokens:3 ~ready:(fun ~chan:_ ~cycle:_ -> true)
+              in
+              if r.Network.status <> Network.Completed then
+                failf "transformed network did not complete: %s after %d cycles"
+                  (Network.status_label r.Network.status)
+                  r.Network.cycles
+              else begin
+                let bad = ref None in
+                Array.iteri
+                  (fun ch p ->
+                    if
+                      !bad = None
+                      && p - r.Network.consumed.(ch) <> r.Network.occupancy.(ch)
+                    then bad := Some ch)
+                  r.Network.produced;
+                match !bad with
+                | Some ch ->
+                  failf
+                    "transformed network violates conservation on channel %d"
+                    ch
+                | None -> Pass
+              end)))))
+
 let check name case =
   let wrong_kind () =
     failf "oracle %s expects a %s case, got %s" (to_string name)
       (match kind name with
       | Gen.Kpipe -> "pipe"
       | Gen.Knet -> "net"
-      | Gen.Kkern -> "kern")
+      | Gen.Kkern -> "kern"
+      | Gen.Ksrc -> "src")
       (Gen.to_string case)
   in
   try
@@ -265,7 +344,8 @@ let check name case =
     | Network, Gen.Net c -> check_net c
     | Cache, Gen.Kern c -> check_cache c
     | Jobs, Gen.Kern c -> check_jobs c
-    | (Stall_skid | Network | Cache | Jobs), _ -> wrong_kind ()
+    | Transform, Gen.Src c -> check_transform c
+    | (Stall_skid | Network | Cache | Jobs | Transform), _ -> wrong_kind ()
   with e ->
     failf "oracle %s raised on a well-formed case: %s" (to_string name)
       (Printexc.to_string e)

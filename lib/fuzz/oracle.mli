@@ -33,12 +33,20 @@ type name =
   | Network
   | Cache
   | Jobs
+  | Transform
+      (** a source case's transform plan either rejects with a structured
+          ["transform"] diagnostic or preserves per-stream semantics: the
+          transformed kernel matches the baseline under the {!Exec}
+          reference evaluator (same output streams, same input
+          consumption, nothing stranded in inserted FIFOs), and the
+          transformed design still elaborates into a network that
+          completes and conserves tokens *)
 
 val all : name list
 
 val to_string : name -> string
-(** ["stall-skid"], ["network"], ["cache"], ["jobs"] — the CLI's
-    [--oracle] vocabulary. *)
+(** ["stall-skid"], ["network"], ["cache"], ["jobs"], ["transform"] —
+    the CLI's [--oracle] vocabulary. *)
 
 val of_string : string -> name option
 val describe : name -> string

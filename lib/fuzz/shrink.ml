@@ -90,12 +90,34 @@ let kern_candidates (c : Gen.kern_case) =
       (if c.kc_width > 8 then [ Kern { c with kc_width = 8 } ] else []);
     ]
 
+(* Shrink the plan before the program: a minimal reproducer should name
+   the one transform item that breaks semantics, on the least source that
+   shows it. *)
+let src_candidates (c : Gen.src_case) =
+  let open Gen in
+  let module Plan = Hlsb_transform.Plan in
+  let items =
+    match Plan.of_string c.sc_plan with
+    | Ok p -> p
+    | Error _ -> []
+  in
+  let drop i = Plan.to_string (List.filteri (fun j _ -> j <> i) items) in
+  List.concat
+    [
+      List.mapi (fun i _ -> Src { c with sc_plan = drop i }) items;
+      List.map (fun s -> Src { c with sc_strands = s }) (shrink_int ~lo:1 c.sc_strands);
+      (if c.sc_big then [ Src { c with sc_big = false } ] else []);
+      List.map (fun t -> Src { c with sc_trips = t }) (shrink_int ~lo:2 c.sc_trips);
+      (if c.sc_seed <> 0 then [ Src { c with sc_seed = 0 } ] else []);
+    ]
+
 let candidates case =
   let cands =
     match case with
     | Gen.Pipe c -> pipe_candidates c
     | Gen.Net c -> net_candidates c
     | Gen.Kern c -> kern_candidates c
+    | Gen.Src c -> src_candidates c
   in
   List.filter Gen.valid cands
 

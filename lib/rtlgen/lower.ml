@@ -69,26 +69,46 @@ let lower_body (d : Device.t) nl ~pipe ~fanout_trees (sched : Schedule.t) =
      cascade pipelined (the BRAM output registers §4.1's added latency
      enables). *)
   let banks = Hashtbl.create 4 in
-  let get_bank b =
+  let get_banks b =
     match Hashtbl.find_opt banks b with
-    | Some mb -> mb
+    | Some mbs -> mbs
     | None ->
       let buf = Dag.buffer dag b in
-      let units =
-        Device.bram18_for
-          ~width:(Dtype.width buf.Dag.b_dtype)
-          ~depth:buf.Dag.b_depth
+      let p = buf.Dag.b_partition in
+      let mbs =
+        if p <= 1 then begin
+          let units =
+            Device.bram18_for
+              ~width:(Dtype.width buf.Dag.b_dtype)
+              ~depth:buf.Dag.b_depth
+          in
+          let read_pipeline = fanout_trees && units > 16 in
+          [|
+            Structs.add_membank d nl ~read_pipeline
+              ~name:(cname "%s" buf.Dag.b_name)
+              ~width:(Dtype.width buf.Dag.b_dtype)
+              ~depth:buf.Dag.b_depth ();
+          |]
+        end
+        else
+          (* Cyclic array partitioning (§3.1): [p] independent banks of
+             [depth/p] words each. The same data/address source must now
+             reach every bank — partitioning multiplies the memories a
+             broadcast serves, while each bank's own write net narrows. *)
+          Array.init p (fun bk ->
+            let depth = (buf.Dag.b_depth + p - 1) / p in
+            let units =
+              Device.bram18_for ~width:(Dtype.width buf.Dag.b_dtype) ~depth
+            in
+            let read_pipeline = fanout_trees && units > 16 in
+            Structs.add_membank d nl ~read_pipeline
+              ~name:(cname "%s_bk%d" buf.Dag.b_name bk)
+              ~width:(Dtype.width buf.Dag.b_dtype)
+              ~depth ())
       in
-      let read_pipeline = fanout_trees && units > 16 in
-      let mb =
-        Structs.add_membank d nl ~read_pipeline
-          ~name:(cname "%s" buf.Dag.b_name)
-          ~width:(Dtype.width buf.Dag.b_dtype)
-          ~depth:buf.Dag.b_depth ()
-      in
-      Array.iter add_seq mb.Structs.mb_units;
-      Hashtbl.add banks b mb;
-      mb
+      Array.iter (fun mb -> Array.iter add_seq mb.Structs.mb_units) mbs;
+      Hashtbl.add banks b mbs;
+      mbs
   in
   (* ---- pass 1: cells per node ---- *)
   Dag.iter dag (fun v ->
@@ -128,8 +148,46 @@ let lower_body (d : Device.t) nl ~pipe ~fanout_trees (sched : Schedule.t) =
           else c
         in
         { s_result = Some result; s_arg_sinks = [ c ] }
+      | Dag.Load b when Array.length (get_banks b) > 1 ->
+        (* partitioned read: the address reaches every bank's units, a
+           bank-select mux funnels the read data back to one register *)
+        let mbs = get_banks b in
+        let all_units =
+          Array.to_list mbs
+          |> List.concat_map (fun mb -> Array.to_list mb.Structs.mb_units)
+        in
+        let mux =
+          Netlist.add_cell nl
+            ~name:(cname "ld%d_bmux" v)
+            ~kind:Netlist.Comb ~delay:0.05 ~res:(Macro.logic w)
+        in
+        Array.iteri
+          (fun bk mb ->
+            ignore
+              (Netlist.add_net nl
+                 ~name:(cname "ld%d_bk%d" v bk)
+                 ~driver:mb.Structs.mb_read_out ~sinks:[ mux ] ~width:w ()))
+          mbs;
+        let out = new_reg (cname "ld%d_q" v) w in
+        ignore
+          (Netlist.add_net nl
+             ~name:(cname "ld%d_d" v)
+             ~driver:mux ~sinks:[ out ] ~width:w ());
+        let extra =
+          max 0 (e.Schedule.e_added_pipe - mbs.(0).Structs.mb_read_latency)
+        in
+        let result =
+          if extra > 0 then begin
+            registers_added := !registers_added + extra;
+            match List.rev (chain_after out (cname "ld%d" v) w extra) with
+            | last :: _ -> last
+            | [] -> out
+          end
+          else out
+        in
+        { s_result = Some result; s_arg_sinks = all_units }
       | Dag.Load b ->
-        let mb = get_bank b in
+        let mb = (get_banks b).(0) in
         let units = Array.to_list mb.Structs.mb_units in
         (* Synchronous read: one output register, plus any added stages. *)
         let out = new_reg (cname "ld%d_q" v) w in
@@ -169,8 +227,31 @@ let lower_body (d : Device.t) nl ~pipe ~fanout_trees (sched : Schedule.t) =
           in
           { s_result = Some result; s_arg_sinks = units }
         end
+      | Dag.Store b when Array.length (get_banks b) > 1 ->
+        (* partitioned write: one bundle source, one write net per bank —
+           each net narrower than the unpartitioned broadcast would be *)
+        let mbs = get_banks b in
+        let bundle_w = w + 16 in
+        let st =
+          Netlist.add_cell nl ~name:(cname "st%d" v) ~kind:Netlist.Comb
+            ~delay:0.10 ~res:(Macro.logic bundle_w)
+        in
+        Array.iteri
+          (fun bk mb ->
+            let units = Array.to_list mb.Structs.mb_units in
+            let cls =
+              if mb.Structs.mb_n_units >= big_fanout then
+                Netlist.Data_broadcast
+              else Netlist.Data
+            in
+            ignore
+              (Netlist.add_net nl ~cls
+                 ~name:(cname "st%d_w%d" v bk)
+                 ~driver:st ~sinks:units ~width:bundle_w ()))
+          mbs;
+        { s_result = None; s_arg_sinks = [ st ] }
       | Dag.Store b ->
-        let mb = get_bank b in
+        let mb = (get_banks b).(0) in
         (* Bundle value+address; the bundle cell is the broadcast source of
            Fig. 4 (a raw mid-chain net under the baseline flow). *)
         let bundle_w = w + 16 in

@@ -1,0 +1,51 @@
+(** Typed source-to-source passes over {!Hlsb_frontend.Ast} — the
+    transformations that *create* the paper's implicit broadcasts (loop
+    unroll, cyclic array partitioning, loop fission/fusion, stream
+    insertion), made explicit and composable so one source elaborates
+    into a family of variants.
+
+    Every pass is a total function [Ast.program -> Ast.program]: an
+    applicable request rewrites the program, an inapplicable one (factor
+    not dividing the trip count, dependence-carrying fission, no
+    matching loop/array, ...) raises [Diag.Diagnostic] with stage
+    ["transform"] — callers go through {!Plan.apply_source}, which
+    returns the payload as a [result]. *)
+
+module Ast = Hlsb_frontend.Ast
+module Diag = Hlsb_util.Diag
+
+type request =
+  | Unroll of { u_loop : string option; u_factor : int }
+      (** Unroll loops over variable [u_loop] (all loops when [None]) by
+          [u_factor]: full body replication when the factor covers the
+          trip count, else a factor-wide partial unroll (the factor must
+          divide the trip count). [unroll] pragmas on a rewritten loop
+          are dropped; [pipeline] pragmas stay on the residual loop. *)
+  | Partition of { p_array : string option; p_factor : int }
+      (** Cyclic-partition the named local/param array (or every
+          BRAM-sized array when [None]) into [p_factor] banks, by
+          normalizing an [#pragma HLS array_partition variable=a cyclic
+          factor=N] that elaboration honours on the buffer. *)
+  | Fission of { f_loop : string option }
+      (** Split the matching loop's body at every dependence-free point
+          into consecutive loops. *)
+  | Fusion of { fu_loop : string option }
+      (** Merge adjacent loops with identical headers and pragmas whose
+          bodies share no dependences. *)
+  | Stream_insert of { si_array : string option }
+      (** Replace a write-then-read intermediate array between two
+          adjacent identically-bounded loops with a [stream<ty>] FIFO. *)
+
+val request_to_string : request -> string
+(** Canonical plan-grammar token ({!Plan.of_string} round-trips it). *)
+
+val apply : request -> Ast.program -> Ast.program
+(** Raises [Diag.Diagnostic] (stage ["transform"]) when inapplicable. *)
+
+val requests_of_pragmas : Ast.program -> request list * Diag.t list
+(** Interpret the pragma strings the parser left on
+    [Ast.for_loop.fl_pragmas] (and free-standing [Pragma_stmt]s) as
+    typed requests: [unroll factor=N] and [array_partition cyclic
+    factor=N] become requests, [pipeline]/[dataflow] are known no-ops,
+    anything else yields a [Diag] warning instead of being silently
+    ignored. *)

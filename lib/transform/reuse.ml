@@ -1,0 +1,231 @@
+open Hlsb_ir
+module Metrics = Hlsb_telemetry.Metrics
+
+type stats = {
+  rs_merged : int;
+  rs_channels_before : int;
+  rs_channels_after : int;
+  rs_broadcast_before : int;
+  rs_broadcast_after : int;
+}
+
+let fifo_id_by_name dag name =
+  let r = ref None in
+  Array.iteri
+    (fun i f -> if f.Dag.f_name = name then r := Some i)
+    (Dag.fifos dag);
+  !r
+
+let nodes_on_fifo dag ~write fifo_id =
+  let acc = ref [] in
+  Dag.iter dag (fun v ->
+      match (Dag.kind dag v, write) with
+      | Dag.Fifo_write f, true when f = fifo_id -> acc := v :: !acc
+      | Dag.Fifo_read f, false when f = fifo_id -> acc := v :: !acc
+      | _ -> ());
+  List.rev !acc
+
+(* Copy a kernel's DAG, skipping the nodes in [drop], remapping any use
+   of node [from_] to node [to_], and dropping the named fifos. Nodes in
+   [drop] must be unconsumed (FIFO endpoints), and [to_] must precede
+   every consumer of [from_] — the caller picks the earlier read as the
+   survivor so this holds. Returns the kernel and the old->new node map. *)
+let copy_kernel (k : Kernel.t) ~drop ~subst ~drop_fifos =
+  let dag = k.Kernel.dag in
+  let d' = Dag.create () in
+  Array.iter
+    (fun (b : Dag.buffer) ->
+      ignore
+        (Dag.add_buffer d' ~name:b.Dag.b_name ~dtype:b.Dag.b_dtype
+           ~depth:b.Dag.b_depth ~partition:b.Dag.b_partition))
+    (Dag.buffers dag);
+  let fifo_map = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (f : Dag.fifo) ->
+      if not (List.mem f.Dag.f_name drop_fifos) then
+        Hashtbl.add fifo_map i
+          (Dag.add_fifo d' ~name:f.Dag.f_name ~dtype:f.Dag.f_dtype
+             ~depth:f.Dag.f_depth))
+    (Dag.fifos dag);
+  let node_map = Hashtbl.create 64 in
+  let map_node v =
+    let v = match List.assoc_opt v subst with Some t -> t | None -> v in
+    Hashtbl.find node_map v
+  in
+  Dag.iter dag (fun v ->
+      if not (List.mem v drop) then begin
+        let dtype = Dag.dtype dag v in
+        let margs () = List.map map_node (Dag.args dag v) in
+        let v' =
+          match Dag.kind dag v with
+          | Dag.Input name -> Dag.input d' ~name ~dtype
+          | Dag.Const c -> Dag.const d' ~dtype c
+          | Dag.Operation op -> Dag.op d' op ~dtype (margs ())
+          | Dag.Load b -> (
+            match margs () with
+            | [ index ] -> Dag.load d' ~buffer:b ~index
+            | _ -> invalid_arg "Reuse.copy_kernel: load arity")
+          | Dag.Store b -> (
+            match margs () with
+            | [ index; value ] -> Dag.store d' ~buffer:b ~index ~value
+            | _ -> invalid_arg "Reuse.copy_kernel: store arity")
+          | Dag.Fifo_read f -> Dag.fifo_read d' ~fifo:(Hashtbl.find fifo_map f)
+          | Dag.Fifo_write f -> (
+            match margs () with
+            | [ value ] ->
+              Dag.fifo_write d' ~fifo:(Hashtbl.find fifo_map f) ~value
+            | _ -> invalid_arg "Reuse.copy_kernel: fifo_write arity")
+          | Dag.Output name -> (
+            match margs () with
+            | [ value ] -> Dag.output d' ~name ~value
+            | _ -> invalid_arg "Reuse.copy_kernel: output arity")
+        in
+        Hashtbl.add node_map v v'
+      end);
+  ( Kernel.create ~name:k.Kernel.name ~ii:k.Kernel.ii
+      ~trip_count:k.Kernel.trip_count d',
+    node_map )
+
+type candidate = {
+  keep : int;  (** surviving channel index *)
+  dupe : int;  (** redundant channel index, dropped *)
+  cd_src : int;
+  cd_dst : int;
+  w_dupe : Dag.node;  (** producer's redundant write node *)
+  value : Dag.node;  (** the shared value in the producer DAG *)
+  r_keep : Dag.node;  (** consumer's surviving read node *)
+  r_dupe : Dag.node;  (** consumer's redundant read node *)
+}
+
+let find_candidate df =
+  let channels = Dataflow.channels df in
+  let procs = Dataflow.processes df in
+  let nc = Array.length channels in
+  let result = ref None in
+  for i = 0 to nc - 1 do
+    for j = 0 to nc - 1 do
+      if !result = None && i <> j then begin
+        let ci = channels.(i) and cj = channels.(j) in
+        if
+          ci.Dataflow.c_src >= 0
+          && ci.Dataflow.c_src = cj.Dataflow.c_src
+          && ci.Dataflow.c_dst >= 0
+          && ci.Dataflow.c_dst = cj.Dataflow.c_dst
+          && ci.Dataflow.c_dtype = cj.Dataflow.c_dtype
+        then
+          match
+            ( procs.(ci.Dataflow.c_src).Dataflow.p_kernel,
+              procs.(ci.Dataflow.c_dst).Dataflow.p_kernel )
+          with
+          | Some pk, Some ck -> (
+            let pdag = pk.Kernel.dag and cdag = ck.Kernel.dag in
+            match
+              ( fifo_id_by_name pdag ci.Dataflow.c_name,
+                fifo_id_by_name pdag cj.Dataflow.c_name,
+                fifo_id_by_name cdag ci.Dataflow.c_name,
+                fifo_id_by_name cdag cj.Dataflow.c_name )
+            with
+            | Some pfi, Some pfj, Some cfi, Some cfj -> (
+              match
+                ( nodes_on_fifo pdag ~write:true pfi,
+                  nodes_on_fifo pdag ~write:true pfj,
+                  nodes_on_fifo pdag ~write:false pfi,
+                  nodes_on_fifo pdag ~write:false pfj,
+                  nodes_on_fifo cdag ~write:false cfi,
+                  nodes_on_fifo cdag ~write:false cfj,
+                  nodes_on_fifo cdag ~write:true cfi,
+                  nodes_on_fifo cdag ~write:true cfj )
+              with
+              | [ wi ], [ wj ], [], [], [ ri ], [ rj ], [], []
+                when Dag.args pdag wi = Dag.args pdag wj && ri < rj ->
+                result :=
+                  Some
+                    {
+                      keep = i;
+                      dupe = j;
+                      cd_src = ci.Dataflow.c_src;
+                      cd_dst = ci.Dataflow.c_dst;
+                      w_dupe = wj;
+                      value = List.hd (Dag.args pdag wi);
+                      r_keep = ri;
+                      r_dupe = rj;
+                    }
+              | _ -> ())
+            | _ -> ())
+          | _ -> ()
+      end
+    done
+  done;
+  !result
+
+let merge df cand =
+  let channels = Dataflow.channels df in
+  let procs = Dataflow.processes df in
+  let dupe_name = channels.(cand.dupe).Dataflow.c_name in
+  let pk = Option.get procs.(cand.cd_src).Dataflow.p_kernel in
+  let ck = Option.get procs.(cand.cd_dst).Dataflow.p_kernel in
+  let bf_before = Dag.broadcast_factor pk.Kernel.dag cand.value in
+  let pk', pmap =
+    copy_kernel pk ~drop:[ cand.w_dupe ] ~subst:[] ~drop_fifos:[ dupe_name ]
+  in
+  let ck', _ =
+    copy_kernel ck ~drop:[ cand.r_dupe ]
+      ~subst:[ (cand.r_dupe, cand.r_keep) ]
+      ~drop_fifos:[ dupe_name ]
+  in
+  let bf_after =
+    Dag.broadcast_factor pk'.Kernel.dag (Hashtbl.find pmap cand.value)
+  in
+  let df' = Dataflow.create () in
+  Array.iteri
+    (fun idx (p : Dataflow.process) ->
+      let kernel =
+        if idx = cand.cd_src then Some pk'
+        else if idx = cand.cd_dst then Some ck'
+        else p.Dataflow.p_kernel
+      in
+      ignore
+        (Dataflow.add_process df' ~name:p.Dataflow.p_name
+           ?latency:p.Dataflow.p_latency ?kernel ()))
+    procs;
+  Array.iteri
+    (fun idx (c : Dataflow.channel) ->
+      if idx <> cand.dupe then
+        ignore
+          (Dataflow.add_channel df' ~name:c.Dataflow.c_name
+             ~src:c.Dataflow.c_src ~dst:c.Dataflow.c_dst
+             ~dtype:c.Dataflow.c_dtype ~depth:c.Dataflow.c_depth ()))
+    channels;
+  List.iter (Dataflow.add_sync_group df') (Dataflow.sync_groups df);
+  (df', bf_before, bf_after)
+
+let run df =
+  let channels_before = Dataflow.n_channels df in
+  let rec go df merged bf_before bf_after budget =
+    if budget = 0 then (df, merged, bf_before, bf_after)
+    else
+      match find_candidate df with
+      | None -> (df, merged, bf_before, bf_after)
+      | Some cand ->
+        let df', b0, b1 = merge df cand in
+        go df' (merged + 1) (bf_before + b0) (bf_after + b1) (budget - 1)
+  in
+  let df', merged, bf_before, bf_after = go df 0 0 0 channels_before in
+  let stats =
+    {
+      rs_merged = merged;
+      rs_channels_before = channels_before;
+      rs_channels_after = Dataflow.n_channels df';
+      rs_broadcast_before = bf_before;
+      rs_broadcast_after = bf_after;
+    }
+  in
+  if merged > 0 then begin
+    Metrics.incr ~by:merged "transform.reuse.merged";
+    Metrics.set_gauge_int "transform.reuse.channels_before" channels_before;
+    Metrics.set_gauge_int "transform.reuse.channels_after"
+      stats.rs_channels_after;
+    Metrics.set_gauge_int "transform.reuse.broadcast_before" bf_before;
+    Metrics.set_gauge_int "transform.reuse.broadcast_after" bf_after
+  end;
+  (df', stats)

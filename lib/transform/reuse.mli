@@ -1,0 +1,30 @@
+(** PPN-style channel reuse on [Ir.Dataflow] (Alias' channel-merging
+    idea): when one producer writes the *same value* to several channels
+    consumed by the same process, the communication is over-wide — the
+    value is broadcast across redundant FIFOs. This pass detects such
+    channel pairs and narrows them to one channel before [Sync] pruning
+    ever sees the network, rebuilding the producer DAG (one write
+    instead of two) and the consumer DAG (the surviving read feeds both
+    former consumers).
+
+    The merge is conservative: both channels must have the same producer
+    and consumer process and the same dtype, the producer must write each
+    exactly once per firing with the identical value node, and the
+    consumer must read each exactly once. Anything else is left alone, so
+    the pass is semantics-preserving and idempotent. *)
+
+type stats = {
+  rs_merged : int;  (** channel pairs narrowed to one *)
+  rs_channels_before : int;
+  rs_channels_after : int;
+  rs_broadcast_before : int;
+      (** summed broadcast factor of the duplicated producer values
+          before merging (each feeds >= 2 FIFO writes) *)
+  rs_broadcast_after : int;
+      (** same values' broadcast factor after merging *)
+}
+
+val run : Hlsb_ir.Dataflow.t -> Hlsb_ir.Dataflow.t * stats
+(** Merge until fixpoint. Returns the input network unchanged (same
+    value, not a copy) when nothing merges. Also records
+    [transform.reuse.*] metrics when a registry is installed. *)

@@ -10,7 +10,7 @@ module Rng = Hlsb_util.Rng
 module Metrics = Hlsb_telemetry.Metrics
 module Json = Hlsb_telemetry.Json
 
-let kinds = [ Gen.Kpipe; Gen.Knet; Gen.Kkern ]
+let kinds = [ Gen.Kpipe; Gen.Knet; Gen.Kkern; Gen.Ksrc ]
 
 let test_generated_cases_valid () =
   let rng = Rng.create 11 in

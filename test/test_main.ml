@@ -18,5 +18,6 @@ let () =
       ("core", T_core.suite);
       ("pipeline", T_pipeline.suite);
       ("frontend", T_frontend.suite);
+      ("transform", T_transform.suite);
       ("export", T_export.suite);
     ]
