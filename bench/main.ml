@@ -41,9 +41,14 @@
      scale   - wide-arithmetic modular-squaring sweep (up to >100k cells):
                per-stage compile wall-clock, cells/sec, and the
                incremental-STA refresh cost, also exported as
-               "scale."-prefixed gauges into the run record and ledger *)
+               "scale."-prefixed gauges into the run record and ledger
+     explore - search-driven Fmax auto-tuning of two Table-1 designs:
+               configurations/sec and session cache reuse, exported as
+               "explore."-prefixed gauges into the run record and ledger *)
 
 module Experiments = Core.Experiments
+module Explore = Hlsb_explore.Explore
+module Explore_experiments = Hlsb_explore.Experiments
 module Pool = Hlsb_util.Pool
 module Trace = Hlsb_telemetry.Trace
 module Metrics = Hlsb_telemetry.Metrics
@@ -158,6 +163,27 @@ let sections =
               (fun (stage, ms) -> g (stage ^ "_ms") ms)
               r.Experiments.sc_stage_ms)
           rows );
+    ( "explore",
+      "Explore: search-driven Fmax auto-tuning (recipes x injection)",
+      fun () ->
+        let reports =
+          Explore_experiments.run_explore
+            ~subset:[ "Vector Arithmetic"; "Pattern Matching" ]
+            ~budget:4 ~max_probes:3 ()
+        in
+        print_string (Explore_experiments.render_explore reports);
+        (* run_design already published the explore.* gauges; add the
+           search throughput so run records can compare machines *)
+        List.iter
+          (fun (rp : Explore.report) ->
+            if rp.Explore.ep_ms > 0. then
+              Metrics.set_gauge
+                (Printf.sprintf "explore.%s.configs_per_sec"
+                   (Explore.slug rp.Explore.ep_design))
+                (1e3
+                *. float_of_int (List.length rp.Explore.ep_configs)
+                /. rp.Explore.ep_ms))
+          reports );
   ]
 
 let run_all_experiments ~only () =
@@ -293,6 +319,16 @@ let run_record ~label ~jobs trace registry =
                if String.starts_with ~prefix:"scale." name then
                  Some
                    ( String.sub name 6 (String.length name - 6),
+                     Json.Float v )
+               else None)
+             snap.Metrics.sn_gauges) );
+      ( "explore",
+        Json.Obj
+          (List.filter_map
+             (fun (name, v) ->
+               if String.starts_with ~prefix:"explore." name then
+                 Some
+                   ( String.sub name 8 (String.length name - 8),
                      Json.Float v )
                else None)
              snap.Metrics.sn_gauges) );

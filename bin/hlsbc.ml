@@ -6,6 +6,8 @@
      classify  DESIGN         source-level broadcast report (section 3)
      compile   DESIGN         compile under a recipe, print Fmax/resources
                               (--dump-after STAGE, --explain)
+     explore                  search-driven Fmax auto-tuner over recipes x
+                              transform plans x register injection
      profile   DESIGN         compile with telemetry: spans + metrics
      path      DESIGN         critical path under a recipe
      schedule  DESIGN         schedule report of the design's first kernel
@@ -17,6 +19,8 @@
 
 module Experiments = Core.Experiments
 module Pipeline = Core.Pipeline
+module Explore = Hlsb_explore.Explore
+module Explore_driver = Hlsb_explore.Experiments
 module Diag = Hlsb_util.Diag
 module Pool = Hlsb_util.Pool
 module Calibrate = Hlsb_delay.Calibrate
@@ -71,20 +75,13 @@ let find_design name =
     Printf.eprintf "unknown design %S; available:\n%s\n" name names;
     exit 1
 
-let recipe_of = function
-  | "original" -> Style.original
-  | "optimized" -> Style.optimized
-  | "sched-only" ->
-    { Style.sched = Style.Sched_aware; pipe = Style.Stall; sync = Style.Sync_naive }
-  | "ctrl-only" ->
-    {
-      Style.sched = Style.Sched_hls;
-      pipe = Style.Skid { min_area = true };
-      sync = Style.Sync_pruned;
-    }
-  | r ->
-    Printf.eprintf
-      "unknown recipe %S (original | optimized | sched-only | ctrl-only)\n" r;
+(* The one recipe-name parser, shared with explore/cc/fuzz via
+   [Style.of_string]; unknown names carry a structured diagnostic. *)
+let recipe_of s =
+  match Style.of_string s with
+  | Ok r -> r
+  | Error d ->
+    Printf.eprintf "%s\n" (Diag.to_string d);
     exit 1
 
 let design_arg =
@@ -95,7 +92,7 @@ let recipe_arg =
     value
     & opt string "optimized"
     & info [ "r"; "recipe" ] ~docv:"RECIPE"
-        ~doc:"original | optimized | sched-only | ctrl-only")
+        ~doc:(String.concat " | " Style.names))
 
 (* Shared --jobs term: a positive value overrides HLSB_JOBS for the whole
    process (characterization fan-out and parallel experiment drivers). *)
@@ -878,6 +875,189 @@ let cmd_fuzz =
       const run $ common_term $ seed_arg $ runs_arg $ oracle_arg $ out_arg
       $ replay_arg)
 
+(* ---------------- the explore subcommand ---------------- *)
+
+let cmd_explore =
+  let run () designs source plans_s budget t0 tol max_probes out =
+    let plans =
+      match plans_s with
+      | None -> []
+      | Some s ->
+        String.split_on_char ',' s
+        |> List.map (fun p ->
+             match Hlsb_transform.Plan.of_string (String.trim p) with
+             | Ok pl -> pl
+             | Error msg ->
+               Printf.eprintf "bad plan %S: %s\n" p msg;
+               exit 1)
+    in
+    if plans <> [] && source = None then begin
+      Printf.eprintf
+        "--plans transforms source, so it needs --source FILE.c (IR-level \
+         suite designs explore recipes and register injection only)\n";
+      exit 1
+    end;
+    let registry = Metrics.create () in
+    let reports =
+      Metrics.with_registry registry (fun () ->
+        match source with
+        | Some file -> (
+          let src =
+            let ic = open_in file in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Hlsb_frontend.Frontend.parse src with
+          | Error e ->
+            Format.eprintf "%s: %a@." file Hlsb_frontend.Frontend.pp_error e;
+            exit 1
+          | Ok program -> (
+            let device = Hlsb_device.Device.ultrascale_plus in
+            let name = Filename.remove_extension (Filename.basename file) in
+            let session = Pipeline.of_program ~device ~name program in
+            match
+              Explore.run_design ~budget ~t0 ~tol ~max_probes ~plans session
+                ~name
+            with
+            | rp -> [ rp ]
+            | exception Diag.Diagnostic d -> fail_diag d))
+        | None -> (
+          let subset =
+            match designs with
+            | None -> None
+            | Some s ->
+              Some
+                (String.split_on_char ',' s
+                |> List.filter_map (fun n ->
+                     let n = String.trim n in
+                     if n = "" then None
+                     else Some (find_design n).Spec.sp_name))
+          in
+          match Explore_driver.run_explore ?subset ~budget ~t0 ~tol ~max_probes () with
+          | rps -> rps
+          | exception Diag.Diagnostic d -> fail_diag d))
+    in
+    print_string (Explore_driver.render_explore reports);
+    List.iter
+      (fun rp ->
+        print_newline ();
+        print_string (Explore.summary rp))
+      reports;
+    (match out with
+    | None -> ()
+    | Some dir ->
+      List.iter
+        (fun rp ->
+          let paths = Explore.write_logs ~dir rp in
+          Printf.printf "wrote %d file(s) for %s under %s\n"
+            (List.length paths) rp.Explore.ep_design dir)
+        reports);
+    if Ledger.enabled () then begin
+      let snap = Metrics.snapshot registry in
+      let stages =
+        List.map
+          (fun rp ->
+            {
+              Ledger.st_name = rp.Explore.ep_design;
+              st_status = "ran";
+              st_ms = rp.Explore.ep_ms;
+            })
+          reports
+      in
+      let results =
+        List.map
+          (fun rp ->
+            Pipeline.result_to_json
+              rp.Explore.ep_winner.Explore.cr_result)
+          reports
+      in
+      let probes =
+        List.fold_left (fun acc rp -> acc + rp.Explore.ep_probes) 0 reports
+      in
+      append_ledger
+        (Ledger.make ~stages ~results ~cache:(cache_counters snap)
+           ~metrics:(Metrics.to_json snap) ~cmd:"explore"
+           ~label:
+             (Printf.sprintf "budget=%d designs=%d probes=%d" budget
+                (List.length reports) probes)
+           ())
+    end
+  in
+  let designs_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "designs" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated Table-1 designs to explore (relaxed names \
+             accepted, see $(b,hlsbc list)); default: all of them.")
+  in
+  let source_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "source" ] ~docv:"FILE.c"
+          ~doc:
+            "Explore a C-subset source file instead of suite designs; \
+             enables the $(b,--plans) transform axis.")
+  in
+  let plans_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plans" ] ~docv:"PLANS"
+          ~doc:
+            "Comma-separated transform plans to add to the configuration \
+             space (each in the $(b,hlsbc cc --transform) grammar; the \
+             identity plan is always included). Requires $(b,--source).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Most configurations to try per design.")
+  in
+  let t0_arg =
+    Arg.(
+      value & opt float 300.
+      & info [ "t0" ] ~docv:"MHZ"
+          ~doc:
+            "Starting target frequency (default 300, the pipeline's static \
+             schedule target, so the first probe reproduces the static \
+             compile).")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "tol" ] ~docv:"FRAC"
+          ~doc:"Relative convergence tolerance of the target search.")
+  in
+  let max_probes_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "max-probes" ] ~docv:"N"
+          ~doc:"Most compiles the target search may spend per configuration.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write per-configuration $(b,frequency_log/) probe logs and a \
+             per-design summary JSON under $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Search-driven Fmax auto-tuning: binary-search the target \
+          frequency per configuration over recipes x transform plans x \
+          register injection, inside one cached compile session per design")
+    Term.(
+      const run $ common_term $ designs_arg $ source_arg $ plans_arg
+      $ budget_arg $ t0_arg $ tol_arg $ max_probes_arg $ out_arg)
+
 (* ---------------- the obs subcommand family ---------------- *)
 
 let cmd_obs =
@@ -1126,6 +1306,7 @@ let () =
             cmd_cc;
             cmd_emit;
             cmd_fuzz;
+            cmd_explore;
             cmd_obs;
             cmd_table1;
             cmd_table2;

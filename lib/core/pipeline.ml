@@ -285,6 +285,20 @@ let cached t stage =
 
 let plan_key plan = Plan.to_string plan
 
+(* Per-run tuning (target-frequency override + register injection) joins
+   the cache keys. Both default to [None], rendering as "", so untuned
+   runs key — and therefore cache — exactly as before the explorer
+   existed. *)
+let tuning_key ~target_mhz ~inject =
+  (match target_mhz with
+  | None -> ""
+  | Some t -> Printf.sprintf "@%g" t)
+  ^
+  match inject with
+  | None -> ""
+  | Some { Schedule.inj_top; inj_levels } ->
+    Printf.sprintf "+inj%d:%d" inj_top inj_levels
+
 let plan_has_source plan =
   List.exists
     (function Plan.Source _ | Plan.Pragmas -> true | Plan.Channel_reuse -> false)
@@ -361,16 +375,21 @@ let elaborate ?(plan = Plan.identity) t ~recipe =
       t.ss_dfs <- (key, df) :: t.ss_dfs;
       df)
 
-let scheduled ?(plan = Plan.identity) t ~recipe df =
-  let key = (plan_key plan, recipe.Style.sched) in
+let scheduled ?(plan = Plan.identity) ?target_mhz ?inject t ~recipe df =
+  let key =
+    (plan_key plan ^ tuning_key ~target_mhz ~inject, recipe.Style.sched)
+  in
   match List.assoc_opt key t.ss_scheds with
   | Some scheds ->
     cached t Schedule;
     scheds
   | None ->
     exec t ~recipe Schedule (fun () ->
+      let target =
+        match target_mhz with Some _ -> target_mhz | None -> t.ss_target_mhz
+      in
       let scheds =
-        Design.schedule_processes ?target_mhz:t.ss_target_mhz
+        Design.schedule_processes ?target_mhz:target ?inject
           ~device:t.ss_device ~recipe df
       in
       t.ss_scheds <- (key, scheds) :: t.ss_scheds;
@@ -434,14 +453,16 @@ let record_broadcast_gauges df =
     Metrics.set_gauge_int "broadcast.channels" (Dataflow.n_channels df)
   end
 
-let compile_key ~netlist_name ~plan recipe =
+let compile_key ~netlist_name ~plan ~tuning recipe =
   Style.label recipe ^ "|" ^ netlist_name
-  ^ match plan_key plan with "" -> "" | k -> "|" ^ k
+  ^ (match plan_key plan with "" -> "" | k -> "|" ^ k)
+  ^ match tuning with "" -> "" | k -> "|" ^ k
 
-let compiled_exn ?name ?(plan = Plan.identity) t ~recipe =
+let compiled_exn ?name ?(plan = Plan.identity) ?target_mhz ?inject t ~recipe =
   t.ss_last <- [];
   let label, netlist_name = effective_names ?name t ~recipe in
-  let key = compile_key ~netlist_name ~plan recipe in
+  let tuning = tuning_key ~target_mhz ~inject in
+  let key = compile_key ~netlist_name ~plan ~tuning recipe in
   match List.assoc_opt key t.ss_compiled with
   | Some c ->
     if t.ss_program <> None then cached t Transform;
@@ -454,7 +475,7 @@ let compiled_exn ?name ?(plan = Plan.identity) t ~recipe =
     let body () =
       let df = elaborate ~plan t ~recipe in
       record_broadcast_gauges df;
-      let scheds = scheduled ~plan t ~recipe df in
+      let scheds = scheduled ~plan ?target_mhz ?inject t ~recipe df in
       let dp =
         exec t ~recipe Lower (fun () ->
           Design.lower_processes ~device:t.ss_device ~recipe ~name:netlist_name
@@ -501,10 +522,11 @@ let compiled_exn ?name ?(plan = Plan.identity) t ~recipe =
           ]
         body
 
-let run_exn ?name ?plan t ~recipe = (compiled_exn ?name ?plan t ~recipe).co_result
+let run_exn ?name ?plan ?target_mhz ?inject t ~recipe =
+  (compiled_exn ?name ?plan ?target_mhz ?inject t ~recipe).co_result
 
-let run ?name ?plan t ~recipe =
-  match run_exn ?name ?plan t ~recipe with
+let run ?name ?plan ?target_mhz ?inject t ~recipe =
+  match run_exn ?name ?plan ?target_mhz ?inject t ~recipe with
   | r -> Ok r
   | exception Diag.Diagnostic d -> Error d
 

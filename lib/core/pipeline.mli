@@ -106,6 +106,8 @@ val of_kernel :
 val run :
   ?name:string ->
   ?plan:Hlsb_transform.Plan.t ->
+  ?target_mhz:float ->
+  ?inject:Hlsb_sched.Schedule.inject ->
   session ->
   recipe:Hlsb_ctrl.Style.recipe ->
   (result, Diag.t) Stdlib.result
@@ -117,13 +119,22 @@ val run :
     additionally keyed by the plan's canonical string, so recompiling a
     plan hits cache end to end while a new plan shares nothing
     downstream of the source. A plan with source items on an IR-level
-    session fails with a stage-["transform"] diagnostic. No
-    [Invalid_argument] or [Failure] escapes: malformed inputs surface as
-    [Error d] with stage and entity names. *)
+    session fails with a stage-["transform"] diagnostic.
+
+    [?target_mhz] overrides the session's schedule target for this run
+    only and [?inject] forces extra distribution registers on the
+    widest-read values ({!Hlsb_sched.Schedule.inject}) — the explorer's
+    two tuning axes. Both join the schedule and compile cache keys, and
+    both default to [None], under which every key is byte-identical to
+    an untuned run (the staged-vs-legacy equivalence tests rely on
+    this). No [Invalid_argument] or [Failure] escapes: malformed inputs
+    surface as [Error d] with stage and entity names. *)
 
 val run_exn :
   ?name:string ->
   ?plan:Hlsb_transform.Plan.t ->
+  ?target_mhz:float ->
+  ?inject:Hlsb_sched.Schedule.inject ->
   session ->
   recipe:Hlsb_ctrl.Style.recipe ->
   result

@@ -21,6 +21,22 @@ let original = { sched = Sched_hls; pipe = Stall; sync = Sync_naive }
 let optimized =
   { sched = Sched_aware; pipe = Skid { min_area = true }; sync = Sync_pruned }
 
+let sched_only = { sched = Sched_aware; pipe = Stall; sync = Sync_naive }
+
+let ctrl_only =
+  { sched = Sched_hls; pipe = Skid { min_area = true }; sync = Sync_pruned }
+
+(* The CLI-facing recipe names, in the order help text lists them. *)
+let named =
+  [
+    ("original", original);
+    ("optimized", optimized);
+    ("sched-only", sched_only);
+    ("ctrl-only", ctrl_only);
+  ]
+
+let names = List.map fst named
+
 let label r =
   let s = match r.sched with Sched_hls -> "hls" | Sched_aware -> "aware" in
   let p =
@@ -31,3 +47,17 @@ let label r =
   in
   let y = match r.sync with Sync_naive -> "naive" | Sync_pruned -> "pruned" in
   Printf.sprintf "%s/%s/%s" s p y
+
+let to_string r =
+  match List.find_opt (fun (_, r') -> r' = r) named with
+  | Some (n, _) -> n
+  | None -> label r
+
+let of_string s =
+  match List.assoc_opt (String.lowercase_ascii (String.trim s)) named with
+  | Some r -> Ok r
+  | None ->
+    Error
+      (Hlsb_util.Diag.error ~stage:"recipe"
+         (Printf.sprintf "unknown recipe %S (expected one of: %s)" s
+            (String.concat " | " names)))

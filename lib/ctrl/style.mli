@@ -28,4 +28,25 @@ val original : recipe
 val optimized : recipe
 (** All three of the paper's techniques enabled (min-area skid control). *)
 
+val sched_only : recipe
+(** §4.1 scheduling alone: broadcast-aware schedule, original control. *)
+
+val ctrl_only : recipe
+(** §4.2/§4.3 control alone: HLS schedule, skid + pruned sync. *)
+
 val label : recipe -> string
+
+val names : string list
+(** The CLI-facing recipe names: ["original"], ["optimized"],
+    ["sched-only"], ["ctrl-only"]. *)
+
+val to_string : recipe -> string
+(** The CLI name of a named recipe; falls back to {!label} for recipes
+    with no name. [to_string r] round-trips through {!of_string} for
+    every name in {!names}. *)
+
+val of_string : string -> (recipe, Hlsb_util.Diag.t) result
+(** Parse a CLI recipe name (case-insensitive, surrounding whitespace
+    ignored). Unknown names return a structured stage-["recipe"]
+    diagnostic listing the accepted names — the one parser shared by
+    [hlsbc compile], [cc], [fuzz] and [explore]. *)

@@ -1,0 +1,64 @@
+module Pipeline = Core.Pipeline
+module Suite = Hlsb_designs.Suite
+module Spec = Hlsb_designs.Spec
+module Pool = Hlsb_util.Pool
+module Table = Hlsb_util.Table
+
+let run_explore ?subset ?jobs ?budget ?t0 ?tol ?max_probes () =
+  let specs =
+    match subset with
+    | None -> Suite.all
+    | Some names ->
+      List.map
+        (fun n ->
+          match Suite.find n with
+          | Some s -> s
+          | None -> invalid_arg ("run_explore: unknown design " ^ n))
+        names
+  in
+  Pool.map_list ?jobs
+    (fun (s : Spec.t) ->
+      let session = Pipeline.of_spec s in
+      Explore.run_design ?budget ?t0 ?tol ?max_probes session
+        ~name:s.Spec.sp_name)
+    specs
+
+let render_explore reports =
+  let tbl =
+    Table.create
+      ~headers:
+        [
+          ("design", Table.Left);
+          ("static", Table.Right);
+          ("best", Table.Right);
+          ("gain", Table.Right);
+          ("winner", Table.Left);
+          ("cfgs", Table.Right);
+          ("probes", Table.Right);
+          ("ms", Table.Right);
+          ("elab", Table.Right);
+          ("hit%", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (rp : Explore.report) ->
+      let static = rp.Explore.ep_static.Pipeline.fr_fmax_mhz in
+      let w = rp.Explore.ep_winner in
+      Table.add_row tbl
+        [
+          rp.Explore.ep_design;
+          Printf.sprintf "%.1f" static;
+          Printf.sprintf "%.1f" w.Explore.cr_fmax;
+          Printf.sprintf "%+.1f%%"
+            (100. *. (w.Explore.cr_fmax -. static) /. static);
+          w.Explore.cr_label;
+          string_of_int (List.length rp.Explore.ep_configs);
+          string_of_int rp.Explore.ep_probes;
+          Printf.sprintf "%.0f" rp.Explore.ep_ms;
+          string_of_int
+            (Option.value ~default:0
+               (List.assoc_opt "elaborate" rp.Explore.ep_stage_runs));
+          Printf.sprintf "%.0f" (100. *. rp.Explore.ep_hit_rate);
+        ])
+    reports;
+  Table.render tbl

@@ -1,0 +1,23 @@
+(** Suite-level exploration driver: one {!Explore.run_design} per
+    benchmark, each with its own compile session, fanned out over the
+    {!Hlsb_util.Pool} — sessions are not shared across domains, so the
+    per-design session reuse (elaborate = 1) and the winner are
+    identical at any job count. *)
+
+val run_explore :
+  ?subset:string list ->
+  ?jobs:int ->
+  ?budget:int ->
+  ?t0:float ->
+  ?tol:float ->
+  ?max_probes:int ->
+  unit ->
+  Explore.report list
+(** Explore every Table-1 design (or the named [subset], resolved
+    through {!Hlsb_designs.Suite.find}), in suite order regardless of
+    job count. Raises [Invalid_argument] on an unknown subset name. *)
+
+val render_explore : Explore.report list -> string
+(** The winners table: per design, static vs searched-best Fmax, the
+    winning configuration, and the search cost (configs, probes, wall
+    ms, elaborate runs). *)

@@ -39,12 +39,13 @@ let schedule_mode device (recipe : Style.recipe) =
 
 (* ---- stage: schedule ---- *)
 
-let schedule_processes ?(target_mhz = 300.) ~device ~recipe (df : Dataflow.t) =
+let schedule_processes ?(target_mhz = 300.) ?inject ~device ~recipe
+    (df : Dataflow.t) =
   let mode = schedule_mode device recipe in
   let n_procs = Dataflow.n_processes df in
   Array.init n_procs (fun p ->
     Option.map
-      (fun kernel -> Schedule.run ~target_mhz mode kernel)
+      (fun kernel -> Schedule.run ~target_mhz ?inject mode kernel)
       (Dataflow.process df p).Dataflow.p_kernel)
 
 (* ---- stage: lower (kernels to macro cells, then channel wiring) ---- *)

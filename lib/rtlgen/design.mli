@@ -42,13 +42,15 @@ val schedule_mode :
 
 val schedule_processes :
   ?target_mhz:float ->
+  ?inject:Hlsb_sched.Schedule.inject ->
   device:Hlsb_device.Device.t ->
   recipe:Hlsb_ctrl.Style.recipe ->
   Hlsb_ir.Dataflow.t ->
   Hlsb_sched.Schedule.t option array
 (** Schedule every kernel process ([None] for kernel-less processes).
-    Depends only on the recipe's [sched] mode (and the target clock), so
-    the pipeline reuses the result across recipes that agree on it. *)
+    Depends only on the recipe's [sched] mode (plus the target clock and
+    any register injection), so the pipeline reuses the result across
+    recipes that agree on them. *)
 
 val lower_processes :
   device:Hlsb_device.Device.t ->

@@ -8,6 +8,11 @@ type mode =
   | Baseline
   | Broadcast_aware of Calibrate.t
 
+type inject = {
+  inj_top : int;
+  inj_levels : int;
+}
+
 type entry = {
   e_cycle : int;
   e_start : float;
@@ -86,7 +91,10 @@ let node_delay mode dag v ~factor =
 (* One ASAP pass. [reads.(a)] is the read count used both for the delay
    factor of consumers of [a] and for deciding whether [a]'s value gets
    broadcast-distribution stages. *)
-let pass ~mode ~target (k : Kernel.t) reads =
+(* [extra.(v)] is forced distribution levels on node [v]'s value beyond
+   what the read-count policy decides — the explorer's register-injection
+   axis. Zero everywhere reproduces the policy schedule exactly. *)
+let pass ~mode ~target ~extra (k : Kernel.t) reads =
   let dag = k.Kernel.dag in
   let n = Dag.n_nodes dag in
   let aware = match mode with Baseline -> false | Broadcast_aware _ -> true in
@@ -148,7 +156,9 @@ let pass ~mode ~target (k : Kernel.t) reads =
       max by_delay mem_floor
     in
     (* Broadcast distribution stages for this node's own value. *)
-    let added_bcast = if tree'd v then tree_levels reads.(v) else 0 in
+    let added_bcast =
+      (if tree'd v then tree_levels reads.(v) else 0) + extra.(v)
+    in
     let delay = raw_delay /. float_of_int (added_split + 1) in
     let latency = intrinsic + added_split + added_bcast in
     let ready =
@@ -229,18 +239,43 @@ let record_metrics t =
     Metrics.incr "sched.kernels";
     Metrics.incr ~by:regs "sched.registers_inserted"
 
-let run_body ~target_mhz mode (k : Kernel.t) =
+(* The injection set: the [inj_top] widest-read value-producing nodes,
+   ties broken by node id so the choice is deterministic. Each selected
+   value gets [inj_levels] forced distribution stages — the explorer's
+   generalization of the one-shot tree_threshold policy. *)
+let injection_levels inject dag n total_reads =
+  let extra = Array.make n 0 in
+  (match inject with
+  | None -> ()
+  | Some { inj_top; inj_levels } when inj_top <= 0 || inj_levels <= 0 -> ()
+  | Some { inj_top; inj_levels } ->
+    let cands = ref [] in
+    Dag.iter dag (fun v ->
+      if produces_value dag v && total_reads.(v) >= 2 then cands := v :: !cands);
+    let sorted =
+      List.sort
+        (fun a b ->
+          match compare total_reads.(b) total_reads.(a) with
+          | 0 -> compare a b
+          | c -> c)
+        !cands
+    in
+    List.iteri (fun i v -> if i < inj_top then extra.(v) <- inj_levels) sorted);
+  extra
+
+let run_body ~target_mhz ~inject mode (k : Kernel.t) =
   if target_mhz <= 0. then invalid_arg "Schedule.run: target <= 0";
   let target = 1000. /. target_mhz *. (1. -. clock_uncertainty) in
   let dag = k.Kernel.dag in
   let n = Dag.n_nodes dag in
   (* Conservative first estimate: every read lands in one cycle. *)
   let total_reads = Array.init n (fun v -> Dag.broadcast_factor dag v) in
+  let extra = injection_levels inject dag n total_reads in
   let entries =
     match mode with
-    | Baseline -> pass ~mode ~target k total_reads
+    | Baseline -> pass ~mode ~target ~extra k total_reads
     | Broadcast_aware _ ->
-      let e1 = pass ~mode ~target k total_reads in
+      let e1 = pass ~mode ~target ~extra k total_reads in
       (* Refine: only same-cycle readers load the net; +1 for the boundary
          register when the value also has later consumers. *)
       let sc = same_cycle_reads e1 dag in
@@ -262,7 +297,7 @@ let run_body ~target_mhz mode (k : Kernel.t) =
             else max 1 c)
           sc
       in
-      pass ~mode ~target k refined
+      pass ~mode ~target ~extra k refined
   in
   (* Source nodes (inputs, constants, FIFO reads) are staged as late as
      possible: a value first consumed in cycle c is read/registered in
@@ -296,8 +331,8 @@ let run_body ~target_mhz mode (k : Kernel.t) =
   record_metrics t;
   t
 
-let run ?(target_mhz = 300.) mode (k : Kernel.t) =
-  if not (Trace.enabled ()) then run_body ~target_mhz mode k
+let run ?(target_mhz = 300.) ?inject mode (k : Kernel.t) =
+  if not (Trace.enabled ()) then run_body ~target_mhz ~inject mode k
   else
     Trace.with_span "schedule"
       ~attrs:
@@ -305,7 +340,7 @@ let run ?(target_mhz = 300.) mode (k : Kernel.t) =
           ("kernel", Hlsb_telemetry.Json.Str k.Kernel.name);
           ("mode", Hlsb_telemetry.Json.Str (label_of_mode mode));
         ]
-      (fun () -> run_body ~target_mhz mode k)
+      (fun () -> run_body ~target_mhz ~inject mode k)
 
 let finish_cycle t v = result_cycle t.entries v
 

@@ -22,6 +22,18 @@ type mode =
   | Baseline
   | Broadcast_aware of Hlsb_delay.Calibrate.t
 
+type inject = {
+  inj_top : int;
+      (** how many of the widest-read value-producing nodes get forced
+          distribution stages (ties broken by node id, deterministic) *)
+  inj_levels : int;  (** extra register levels per selected value *)
+}
+(** Register injection on the worst broadcast chains: the Fmax explorer's
+    generalization of the fixed [tree_threshold] policy. Lowering
+    realizes the extra [e_bcast_levels] as deeper pipelined fanout trees
+    (broadcast-aware recipes) or register chains (baseline recipes).
+    [inj_top = 0] or [inj_levels = 0] is a no-op. *)
+
 type entry = {
   e_cycle : int;  (** cycle in which the node starts *)
   e_start : float;  (** chain offset within the cycle, ns *)
@@ -46,9 +58,11 @@ type t = {
   depth : int;  (** pipeline depth in cycles (latest finish, exclusive) *)
 }
 
-val run : ?target_mhz:float -> mode -> Kernel.t -> t
+val run : ?target_mhz:float -> ?inject:inject -> mode -> Kernel.t -> t
 (** Default target is 300 MHz (more aggressive than any of the paper's
-    original designs achieve, so the schedule, not the target, binds). *)
+    original designs achieve, so the schedule, not the target, binds).
+    [?inject] (default none) forces extra distribution stages on the
+    widest-read values — see {!inject}. *)
 
 val finish_cycle : t -> Dag.node -> int
 (** First cycle in which the node's result is available to consumers. *)

@@ -19,5 +19,6 @@ let () =
       ("pipeline", T_pipeline.suite);
       ("frontend", T_frontend.suite);
       ("transform", T_transform.suite);
+      ("explore", T_explore.suite);
       ("export", T_export.suite);
     ]
