@@ -33,6 +33,8 @@ module Trace = Hlsb_telemetry.Trace
 module Metrics = Hlsb_telemetry.Metrics
 module Json = Hlsb_telemetry.Json
 module Log = Hlsb_obs.Log
+module Serve_client = Hlsb_serve.Client
+module Serve_protocol = Hlsb_serve.Protocol
 module Ledger = Hlsb_obs.Ledger
 module Obs_report = Hlsb_obs.Report
 module Prom = Hlsb_obs.Prom
@@ -186,6 +188,52 @@ let fail_diag d =
   Log.error "%s" (Diag.to_string d);
   exit 1
 
+(* ---- hlsbd client mode ---------------------------------------------- *)
+
+(* Daemon mode engages on --daemon or whenever HLSBD_SOCKET names a
+   socket. Output discipline: the artifact bytes (and nothing else) go
+   to stdout, hit/miss routing to stderr — so two invocations of the
+   same compile can be compared byte for byte, daemon or not. *)
+let daemon_env_set () =
+  match Sys.getenv_opt Hlsb_serve.Daemon.socket_env_var with
+  | Some s -> s <> ""
+  | None -> false
+
+(* Send the verb to the daemon; when no daemon answers, fall back to the
+   in-process thunk, which must print byte-identical artifact bytes. *)
+let daemon_or_fallback verb fallback =
+  match Serve_client.call verb with
+  | Ok resp -> (
+    match resp.Serve_protocol.p_error with
+    | Some d -> fail_diag d
+    | None ->
+      Printf.eprintf "[hlsbd] %s %s key=%s\n%!"
+        (if resp.Serve_protocol.p_hit then "hit" else "miss")
+        (Serve_protocol.verb_name verb)
+        resp.Serve_protocol.p_key;
+      print_string resp.Serve_protocol.p_artifact)
+  | Error msg ->
+    Log.info "hlsbd unavailable (%s); compiling in-process" msg;
+    Printf.eprintf "[hlsbd] in-process fallback\n%!";
+    fallback ()
+
+(* The in-process spelling of the daemon's compile artifact: the same
+   result record, rendered by the same encoder, newline-terminated. *)
+let print_result_artifact r =
+  print_string (Json.to_string ~minify:false (Core.Flow.result_to_json r) ^ "\n")
+
+let daemon_arg =
+  Arg.(
+    value & flag
+    & info [ "daemon" ]
+        ~doc:
+          "Route the compile through a running $(b,hlsbd) daemon \
+           (\\$(b,HLSBD_SOCKET), default $(b,.hlsb/hlsbd.sock)): the \
+           artifact-record JSON is printed to stdout, served from the \
+           daemon's content-addressed store when it has the bytes. Falls \
+           back to an in-process compile (same bytes) when no daemon \
+           answers. Implied by setting \\$(b,HLSBD_SOCKET).")
+
 (* ---- run-ledger assembly shared by compile / cc / profile / fuzz ---- *)
 
 let stage_ms_of_session session =
@@ -246,9 +294,24 @@ let cmd_passes =
     Term.(const run $ const ())
 
 let cmd_compile =
-  let run () name recipe json dump_after explain =
+  let run () name recipe json dump_after explain daemon =
     let s = find_design name in
     let recipe = recipe_of recipe in
+    if daemon || daemon_env_set () then
+      daemon_or_fallback
+        (Serve_protocol.Compile
+           {
+             Serve_protocol.cp_design = s.Spec.sp_name;
+             cp_recipe = recipe;
+             cp_target_mhz = None;
+             cp_inject = None;
+           })
+        (fun () ->
+          let session = Pipeline.of_spec s in
+          match Pipeline.run session ~recipe with
+          | Error d -> fail_diag d
+          | Ok r -> print_result_artifact r)
+    else
     let session = Pipeline.of_spec s in
     (* The ledger wants the full metrics snapshot, which needs a registry
        installed around the compile. With HLSB_LEDGER=off none of this
@@ -340,7 +403,7 @@ let cmd_compile =
     (Cmd.info "compile" ~doc:"Compile a benchmark and report Fmax/resources")
     Term.(
       const run $ common_term $ design_arg $ recipe_arg $ json_arg $ dump_arg
-      $ explain_arg)
+      $ explain_arg $ daemon_arg)
 
 let cmd_profile =
   let run () name recipe trace_out metrics_out quiet =
@@ -503,7 +566,7 @@ let cmd_schedule =
     Term.(const run $ design_arg $ recipe_arg)
 
 let cmd_cc =
-  let run () file recipe transform dump_after explain =
+  let run () file recipe transform dump_after explain daemon =
     let src =
       let ic = open_in file in
       Fun.protect
@@ -521,6 +584,28 @@ let cmd_cc =
           msg;
         exit 1
     in
+    if daemon || daemon_env_set () then
+      let name = Filename.remove_extension (Filename.basename file) in
+      daemon_or_fallback
+        (Serve_protocol.Cc
+           {
+             Serve_protocol.cc_name = name;
+             cc_source = src;
+             cc_recipe = recipe_of recipe;
+             cc_plan = plan;
+           })
+        (fun () ->
+          match Hlsb_frontend.Frontend.parse src with
+          | Error e ->
+            Format.eprintf "%s: %a@." file Hlsb_frontend.Frontend.pp_error e;
+            exit 1
+          | Ok program -> (
+            let device = Hlsb_device.Device.ultrascale_plus in
+            let session = Pipeline.of_program ~device ~name program in
+            match Pipeline.run ~plan session ~recipe:(recipe_of recipe) with
+            | Error d -> fail_diag d
+            | Ok r -> print_result_artifact r))
+    else
     match Hlsb_frontend.Frontend.parse src with
     | Error e ->
       Format.eprintf "%s: %a@." file Hlsb_frontend.Frontend.pp_error e;
@@ -620,7 +705,7 @@ let cmd_cc =
     (Cmd.info "cc" ~doc:"Compile a C-subset source file through the flow")
     Term.(
       const run $ common_term $ file_arg $ recipe_arg $ transform_arg $ dump_arg
-      $ explain_arg)
+      $ explain_arg $ daemon_arg)
 
 let cmd_emit =
   let run name recipe fmt out =

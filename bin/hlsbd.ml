@@ -1,0 +1,163 @@
+(* hlsbd — the compile daemon and its control CLI.
+
+   Subcommands:
+     serve      run the daemon: bind the socket, serve until shutdown
+     status     daemon + artifact-store status (direct disk when no daemon)
+     gc         evict the store to its byte budget
+     shutdown   ask the daemon to exit cleanly
+
+   The daemon end of the `hlsbc --daemon` client mode: one long-running
+   process owns the worker pool, the warm pipeline sessions, and the
+   content-addressed artifact store, so a repeat compile from any client
+   process is a byte-identical store hit. *)
+
+module Daemon = Hlsb_serve.Daemon
+module Client = Hlsb_serve.Client
+module Protocol = Hlsb_serve.Protocol
+module Store = Hlsb_serve.Store
+module Json = Hlsb_telemetry.Json
+module Metrics = Hlsb_telemetry.Metrics
+module Diag = Hlsb_util.Diag
+module Pool = Hlsb_util.Pool
+module Log = Hlsb_obs.Log
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Daemon.ambient_socket ())
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix socket the daemon listens on (default: \
+           \\$(b,HLSBD_SOCKET), then $(b,.hlsb/hlsbd.sock)).")
+
+let store_arg =
+  Arg.(
+    value
+    & opt string (Store.ambient_root ())
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Artifact store root (default: \\$(b,HLSBD_STORE), then \
+           $(b,.hlsb/store)).")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int (Store.default_budget_bytes / (1024 * 1024))
+    & info [ "budget-mb" ] ~docv:"MB"
+        ~doc:"Store eviction budget in MiB (default 256).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains (default: \\$(b,HLSB_JOBS), then core count).")
+
+let print_json j = print_endline (Json.to_string ~minify:false j)
+
+let fail_msg msg =
+  Printf.eprintf "hlsbd: %s\n" msg;
+  exit 1
+
+let cmd_serve =
+  let run socket store budget_mb jobs max_requests no_ledger =
+    if jobs > 0 then Pool.set_default_jobs jobs;
+    (* Gauges (queue depth, hit rate) need a registry installed for the
+       daemon's lifetime; spans stay off unless a collector is added. *)
+    Metrics.install (Metrics.create ());
+    let t =
+      Daemon.create
+        ~budget_bytes:(budget_mb * 1024 * 1024)
+        ~store_root:store ~ledger:(not no_ledger) ()
+    in
+    let max_requests =
+      if max_requests > 0 then Some max_requests else None
+    in
+    match Daemon.serve ?max_requests t ~socket with
+    | Ok () -> ()
+    | Error msg -> fail_msg msg
+  in
+  let max_requests_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after serving N requests (0 = serve until shutdown).")
+  in
+  let no_ledger_arg =
+    Arg.(
+      value & flag
+      & info [ "no-ledger" ] ~doc:"Skip the per-request run-ledger records.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the compile daemon on a Unix socket")
+    Term.(
+      const run $ socket_arg $ store_arg $ budget_arg $ jobs_arg
+      $ max_requests_arg $ no_ledger_arg)
+
+(* status and gc answer even with no daemon running: they fall back to
+   operating on the store directory directly, flagged as such. *)
+let cmd_status =
+  let run socket store =
+    match Client.call ~socket Protocol.Status with
+    | Ok { Protocol.p_error = None; p_artifact; _ } -> print_string p_artifact
+    | Ok { Protocol.p_error = Some d; _ } -> fail_msg (Diag.to_string d)
+    | Error _ ->
+      let entries, bytes = Store.disk_usage ~root:store in
+      print_json
+        (Json.Obj
+           [
+             ("schema", Json.Str "hlsbd-status/1");
+             ("daemon", Json.Bool false);
+             ( "store",
+               Json.Obj
+                 [
+                   ("root", Json.Str store);
+                   ("entries", Json.Int entries);
+                   ("bytes", Json.Int bytes);
+                 ] );
+           ])
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Daemon and artifact-store status (disk figures when no daemon)")
+    Term.(const run $ socket_arg $ store_arg)
+
+let cmd_gc =
+  let run socket store budget_mb =
+    match Client.call ~socket Protocol.Gc with
+    | Ok { Protocol.p_error = None; p_artifact; _ } -> print_string p_artifact
+    | Ok { Protocol.p_error = Some d; _ } -> fail_msg (Diag.to_string d)
+    | Error _ ->
+      let t =
+        Store.open_ ~budget_bytes:(budget_mb * 1024 * 1024) ~root:store ()
+      in
+      let evicted = Store.gc t in
+      print_json
+        (Json.Obj
+           [
+             ("schema", Json.Str "hlsbd-gc/1");
+             ("daemon", Json.Bool false);
+             ("evicted", Json.Int evicted);
+           ])
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Evict the artifact store down to its byte budget")
+    Term.(const run $ socket_arg $ store_arg $ budget_arg)
+
+let cmd_shutdown =
+  let run socket =
+    match Client.call ~socket Protocol.Shutdown with
+    | Ok { Protocol.p_error = None; _ } -> Log.info "hlsbd: shutdown requested"
+    | Ok { Protocol.p_error = Some d; _ } -> fail_msg (Diag.to_string d)
+    | Error msg -> fail_msg msg
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to exit cleanly")
+    Term.(const run $ socket_arg)
+
+let () =
+  let info =
+    Cmd.info "hlsbd" ~version:"1.0.0"
+      ~doc:"Compile daemon with a persistent content-addressed artifact store"
+  in
+  exit (Cmd.eval (Cmd.group info [ cmd_serve; cmd_status; cmd_gc; cmd_shutdown ]))

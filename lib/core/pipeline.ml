@@ -522,6 +522,18 @@ let compiled_exn ?name ?(plan = Plan.identity) ?target_mhz ?inject t ~recipe =
           ]
         body
 
+(* Session persistence hooks: the compile daemon keys its on-disk
+   artifact store off the exact same strings the in-memory caches use,
+   so a store key distinguishes precisely what the session caches
+   distinguish (recipe, run name, plan, target override, injection). *)
+let cache_key ?name ?(plan = Plan.identity) ?target_mhz ?inject t ~recipe =
+  let _, netlist_name = effective_names ?name t ~recipe in
+  let tuning = tuning_key ~target_mhz ~inject in
+  compile_key ~netlist_name ~plan ~tuning recipe
+
+let session_name t = t.ss_name
+let session_device t = t.ss_device
+
 let run_exn ?name ?plan ?target_mhz ?inject t ~recipe =
   (compiled_exn ?name ?plan ?target_mhz ?inject t ~recipe).co_result
 

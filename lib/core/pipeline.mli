@@ -103,6 +103,28 @@ val of_kernel :
     netlist is named [<kernel>_<recipe label>] per run, the result label
     after the kernel alone. *)
 
+val cache_key :
+  ?name:string ->
+  ?plan:Hlsb_transform.Plan.t ->
+  ?target_mhz:float ->
+  ?inject:Hlsb_sched.Schedule.inject ->
+  session ->
+  recipe:Hlsb_ctrl.Style.recipe ->
+  string
+(** The exact key {!run} files its compiled artifact under in the
+    session cache — recipe label, effective design name, canonical plan
+    string, and the tuning suffix (target override + injection), with
+    the defaulted axes rendering as empty so untuned keys match the
+    pre-explorer spelling byte for byte. The compile daemon derives its
+    on-disk content-addressed store keys from this same string (plus the
+    device fingerprint and input identity), which is what makes a
+    daemon store hit equivalent to an in-session cache hit. *)
+
+val session_name : session -> string
+val session_device : session -> Hlsb_device.Device.t
+(** The session's design name and target device, for callers (the
+    compile service) that persist session artifacts externally. *)
+
 val run :
   ?name:string ->
   ?plan:Hlsb_transform.Plan.t ->

@@ -156,28 +156,15 @@ let load ~dir ~factor_grid ~unit_grid d =
     | Error _ -> None
     | Ok json -> of_json ~factor_grid ~unit_grid d json)
 
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
-  end
-
-(* Atomic write-then-rename; the temp name carries the domain id so
-   concurrent writers (identical payload by determinism) never collide. *)
+(* Atomic write-then-rename through the shared hardened writer. The
+   temp name used to carry only the domain id, which is 0 in every
+   process's initial domain: a daemon and a stray CLI invocation storing
+   the same device could open the same [.tmp.0] path and publish a torn
+   mixture of both payloads. [Atomic_file] keys the temp name on
+   pid + domain + a random suffix instead. *)
 let store ~dir ~factor_grid ~unit_grid d e =
-  mkdir_p dir;
-  let path = file_path ~dir d in
-  let tmp =
-    Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int)
-  in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc
-        (Json.to_string ~minify:false (to_json ~factor_grid ~unit_grid d e));
-      output_char oc '\n');
-  Sys.rename tmp path
+  Hlsb_util.Atomic_file.write_exn ~path:(file_path ~dir d)
+    (Json.to_string ~minify:false (to_json ~factor_grid ~unit_grid d e) ^ "\n")
 
 let is_cache_file name =
   String.length name > 4

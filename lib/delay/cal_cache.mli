@@ -54,7 +54,10 @@ val store :
   Hlsb_device.Device.t ->
   entry ->
   unit
-(** Atomic write-then-rename; creates [dir] as needed. *)
+(** Atomic write-then-rename via {!Hlsb_util.Atomic_file} (temp name
+    keyed on pid + domain + random suffix, so concurrent writers in
+    different processes never share a temp path); creates [dir] as
+    needed. *)
 
 val entries : dir:string -> string list
 (** Paths of the cache files in [dir], sorted. *)

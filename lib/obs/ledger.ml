@@ -250,12 +250,25 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
+(* Opt-in durability for daemon mode: a long-running compile service is
+   exactly the process whose ledger survives crashes, so it can ask for
+   an fsync per record. Everything else keeps the cheap default. *)
+let sync_env_var = "HLSB_LEDGER_SYNC"
+
+let sync_requested () =
+  match Sys.getenv_opt sync_env_var with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
 (* One locked single-buffer write per record: the advisory lock
    serializes concurrent writers (same guarantee Cal_cache gets from
-   write-then-rename, adapted to an append-only file), and building the
-   whole line first means a crash mid-record can at worst leave one torn
-   line, which [load] skips. *)
-let append_line ~path line =
+   write-then-rename, adapted to an append-only file) and the whole
+   line goes down in one [Unix.write]. A short or failed write used to
+   leave a torn line for every later reader to skip — now the file is
+   truncated back to its pre-append length (we still hold the lock, and
+   O_APPEND writes land at the end, so the recorded length is exact)
+   and the append is reported as failed instead of half-published. *)
+let append_line ?(sync = sync_requested ()) ~path line =
   mkdir_p (Filename.dirname path);
   match
     Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
@@ -272,22 +285,32 @@ let append_line ~path line =
             ~finally:(fun () ->
               try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
             (fun () ->
-              let b = Bytes.of_string line in
+              let b = Bytes.unsafe_of_string line in
               let len = Bytes.length b in
-              let rec write_all off =
-                if off < len then
-                  write_all (off + Unix.write fd b off (len - off))
+              let before = (Unix.fstat fd).Unix.st_size in
+              let rollback () =
+                try Unix.ftruncate fd before with Unix.Unix_error _ -> ()
               in
-              match write_all 0 with
-              | () -> Ok path
+              match Unix.write fd b 0 len with
+              | n when n = len ->
+                if sync then (
+                  match Unix.fsync fd with
+                  | () -> Ok path
+                  | exception Unix.Unix_error (e, _, _) ->
+                    Error (Unix.error_message e))
+                else Ok path
+              | n ->
+                rollback ();
+                Error (Printf.sprintf "short write (%d of %d bytes)" n len)
               | exception Unix.Unix_error (e, _, _) ->
+                rollback ();
                 Error (Unix.error_message e)))
 
-let append ?path run =
+let append ?path ?sync run =
   match (path, ambient_path ()) with
   | None, None -> Error "ledger disabled (HLSB_LEDGER=off)"
   | Some p, _ | None, Some p ->
-    append_line ~path:p (Json.to_string (to_json run) ^ "\n")
+    append_line ?sync ~path:p (Json.to_string (to_json run) ^ "\n")
 
 let load ~path =
   if not (Sys.file_exists path) then Ok []

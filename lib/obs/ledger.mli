@@ -15,11 +15,16 @@
     directory. When disabled, callers are expected to skip record
     assembly too ({!enabled}), so the compile path pays nothing.
 
-    Appends serialize under an advisory file lock and are written as a
-    single line each — the append-only analog of [Cal_cache]'s
-    write-then-rename discipline — so concurrent writers never
-    interleave records. Malformed lines (a torn write from a crashed
-    process, hand editing) are skipped on load, never fatal. *)
+    Appends serialize under an advisory file lock and go down as one
+    [write] of the fully-assembled line — the append-only analog of
+    [Cal_cache]'s write-then-rename discipline — so concurrent writers
+    never interleave records. A short or failed write is rolled back by
+    truncating the file to its pre-append length (the lock is still
+    held), so a failed append leaves no torn line behind; what malformed
+    lines can still arise (a crash between write and truncate, hand
+    editing) are skipped on load, never fatal. Daemon mode can
+    additionally opt into one [fsync] per record with
+    [HLSB_LEDGER_SYNC=1], making each acknowledged record durable. *)
 
 module Json = Hlsb_telemetry.Json
 
@@ -95,11 +100,16 @@ val default_path : string
 (** [".hlsb/ledger.jsonl"] — what [hlsbc obs] reads when [HLSB_LEDGER]
     is unset or disabled and no [--ledger] flag is given. *)
 
-val append : ?path:string -> run -> (string, string) result
+val sync_env_var : string
+(** ["HLSB_LEDGER_SYNC"] — set to [1]/[true]/[on]/[yes] to fsync after
+    every appended record (the daemon sets this for its own appends). *)
+
+val append : ?path:string -> ?sync:bool -> run -> (string, string) result
 (** Append one record (creating the directory and file as needed) and
     return the path written. [Error] carries the system message; ledger
     failures must never take a compile down, so callers log and move
-    on. [?path] overrides the ambient resolution (tests, [--ledger]). *)
+    on. [?path] overrides the ambient resolution (tests, [--ledger]);
+    [?sync] overrides the [HLSB_LEDGER_SYNC] resolution. *)
 
 val load : path:string -> (run list, string) result
 (** All well-formed records, oldest first. Malformed lines are skipped.

@@ -234,19 +234,26 @@ let emit_sync ~device ~recipe (df : Dataflow.t) (dp : datapath) =
 (* ---- legacy single-call entry point ---- *)
 
 let generate_body ~target_mhz ~device ~recipe ~name (df : Dataflow.t) =
-  (match Dataflow.validate df with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Design.generate: " ^ msg));
+  (match Dataflow.problems df with
+  | [] -> ()
+  | { Dataflow.pb_entity; pb_message } :: _ ->
+    let entity =
+      match pb_entity with
+      | `Channel n -> Diag.Channel n
+      | `Process n -> Diag.Process n
+    in
+    raise (Diag.Diagnostic (Diag.error ~entity ~stage:"elaborate" pb_message)));
   let scheds = schedule_processes ~target_mhz ~device ~recipe df in
   let dp = lower_processes ~device ~recipe ~name df scheds in
   emit_sync ~device ~recipe df dp
 
 let generate ?(target_mhz = 300.) ~device ~recipe ~name (df : Dataflow.t) =
-  let body () =
-    (* the pre-pipeline contract: malformed inputs raise Invalid_argument *)
-    try generate_body ~target_mhz ~device ~recipe ~name df
-    with Diag.Diagnostic d -> invalid_arg ("Design.generate: " ^ d.Diag.d_message)
-  in
+  (* Malformed inputs raise [Diag.Diagnostic] with the stage and the
+     offending kernel/channel/process intact. This used to be flattened
+     into an [Invalid_argument] string "for backward compatibility",
+     which destroyed exactly the structure the compile service needs to
+     return machine-readable error responses. *)
+  let body () = generate_body ~target_mhz ~device ~recipe ~name df in
   if not (Trace.enabled ()) then body ()
   else
     Trace.with_span "generate"

@@ -81,10 +81,12 @@ val generate :
   Hlsb_ir.Dataflow.t ->
   t
 (** The staged functions above in sequence, after validating the network.
-    Raises [Invalid_argument] if the dataflow network fails validation or a
-    channel endpoint kernel lacks the correspondingly-named FIFO (the
-    structured diagnostic is converted for backward compatibility; use the
-    pipeline API to receive it as data). *)
+    Raises {!Hlsb_util.Diag.Diagnostic} if the dataflow network fails
+    validation (stage ["elaborate"], naming the offending channel or
+    process) or a channel endpoint kernel lacks the correspondingly-named
+    FIFO (stage ["lower"]) — the same structured payload the pipeline API
+    returns as data, so callers like the compile daemon can render
+    machine-readable error responses. *)
 
 val kernel_dataflow : Hlsb_ir.Kernel.t -> Hlsb_ir.Dataflow.t
 (** Wrap one kernel in a single-process dataflow network (with the anchor

@@ -1,0 +1,403 @@
+module Json = Hlsb_telemetry.Json
+module Metrics = Hlsb_telemetry.Metrics
+module Trace = Hlsb_telemetry.Trace
+module Diag = Hlsb_util.Diag
+module Pool = Hlsb_util.Pool
+module Atomic_file = Hlsb_util.Atomic_file
+module Ledger = Hlsb_obs.Ledger
+module Log = Hlsb_obs.Log
+module Pipeline = Core.Pipeline
+module Style = Hlsb_ctrl.Style
+module Suite = Hlsb_designs.Suite
+module Spec = Hlsb_designs.Spec
+module Device = Hlsb_device.Device
+module Calibrate = Hlsb_delay.Calibrate
+module Cal_cache = Hlsb_delay.Cal_cache
+
+let socket_env_var = "HLSBD_SOCKET"
+let default_socket = Filename.concat ".hlsb" "hlsbd.sock"
+
+let ambient_socket () =
+  match Sys.getenv_opt socket_env_var with
+  | Some s when s <> "" -> s
+  | _ -> default_socket
+
+(* One warm pipeline session per distinct compile input; requests that
+   share the session serialize on its lock while unrelated requests run
+   in parallel on the pool. *)
+type slot = { sl_session : Pipeline.session; sl_mutex : Mutex.t }
+
+type t = {
+  d_store : Store.t;
+  d_git_rev : string;  (** "" outside a checkout *)
+  d_ledger : bool;
+  d_sessions : (string, slot) Hashtbl.t;
+  d_sessions_mu : Mutex.t;
+  d_mu : Mutex.t;
+  mutable d_requests : int;
+  mutable d_hits : int;  (** store hits on compile-flavoured verbs *)
+  mutable d_misses : int;
+  d_stop : bool Atomic.t;
+}
+
+let create ?budget_bytes ?store_root ?(ledger = true) () =
+  let root = match store_root with Some r -> r | None -> Store.ambient_root () in
+  {
+    d_store = Store.open_ ?budget_bytes ~root ();
+    d_git_rev = Option.value (Ledger.git_rev ()) ~default:"";
+    d_ledger = ledger;
+    d_sessions = Hashtbl.create 16;
+    d_sessions_mu = Mutex.create ();
+    d_mu = Mutex.create ();
+    d_requests = 0;
+    d_hits = 0;
+    d_misses = 0;
+    d_stop = Atomic.make false;
+  }
+
+let store t = t.d_store
+let requests_served t = Mutex.protect t.d_mu (fun () -> t.d_requests)
+
+let session_for t ~key mk =
+  Mutex.protect t.d_sessions_mu (fun () ->
+    match Hashtbl.find_opt t.d_sessions key with
+    | Some slot -> slot
+    | None ->
+      let slot = { sl_session = mk (); sl_mutex = Mutex.create () } in
+      Hashtbl.add t.d_sessions key slot;
+      slot)
+
+let artifact_of_result r =
+  Json.to_string ~minify:false (Pipeline.result_to_json r) ^ "\n"
+
+let hit_rate t =
+  Mutex.protect t.d_mu (fun () ->
+    let lookups = t.d_hits + t.d_misses in
+    if lookups = 0 then 0. else float_of_int t.d_hits /. float_of_int lookups)
+
+(* The store-backed serving discipline shared by every compile-flavoured
+   verb: look the key up in the client's namespace; on miss run the
+   compile thunk, publish the bytes, and answer with exactly the bytes
+   the store now holds — so hit and miss responses are byte-identical. *)
+let serve_artifact t ~id ~ns ~parts compile =
+  let key = Store.key ~parts in
+  match Store.find t.d_store ~ns ~key with
+  | Some bytes ->
+    Mutex.protect t.d_mu (fun () -> t.d_hits <- t.d_hits + 1);
+    Protocol.ok ~hit:true ~key ~id bytes
+  | None ->
+    Mutex.protect t.d_mu (fun () -> t.d_misses <- t.d_misses + 1);
+    let bytes = compile () in
+    (match Store.put t.d_store ~ns ~key bytes with
+    | Ok () -> ()
+    | Error msg -> Log.warn "artifact store put %s: %s" key msg);
+    Protocol.ok ~hit:false ~key ~id bytes
+
+let unknown_design name =
+  Diag.error ~stage:"serve"
+    ~entity:(Diag.Design name)
+    (Printf.sprintf "unknown design %S (hlsbc list names them)" name)
+
+let handle_compile t ~id ~ns (c : Protocol.compile_req) =
+  match Suite.find c.cp_design with
+  | None -> Protocol.fail ~id (unknown_design c.cp_design)
+  | Some spec ->
+    let slot =
+      session_for t ~key:("design:" ^ spec.Spec.sp_name) (fun () ->
+        Pipeline.of_spec spec)
+    in
+    let ck =
+      Pipeline.cache_key ?target_mhz:c.cp_target_mhz ?inject:c.cp_inject
+        slot.sl_session ~recipe:c.cp_recipe
+    in
+    let parts =
+      [
+        "compile";
+        Cal_cache.fingerprint spec.Spec.sp_device;
+        t.d_git_rev;
+        spec.Spec.sp_name;
+        ck;
+      ]
+    in
+    serve_artifact t ~id ~ns ~parts (fun () ->
+      Mutex.protect slot.sl_mutex (fun () ->
+        match
+          Pipeline.run ?target_mhz:c.cp_target_mhz ?inject:c.cp_inject
+            slot.sl_session ~recipe:c.cp_recipe
+        with
+        | Ok r -> artifact_of_result r
+        | Error d -> raise (Diag.Diagnostic d)))
+
+let handle_cc t ~id ~ns (c : Protocol.cc_req) =
+  match Hlsb_frontend.Frontend.parse c.cc_source with
+  | Error e ->
+    Protocol.fail ~id
+      (Diag.error ~stage:"parse"
+         ~entity:(Diag.Design c.cc_name)
+         (Format.asprintf "%a" Hlsb_frontend.Frontend.pp_error e))
+  | Ok program ->
+    let device = Device.ultrascale_plus in
+    let digest = Digest.to_hex (Digest.string c.cc_source) in
+    let slot =
+      session_for t
+        ~key:(Printf.sprintf "cc:%s:%s" digest c.cc_name)
+        (fun () -> Pipeline.of_program ~device ~name:c.cc_name program)
+    in
+    let ck =
+      Pipeline.cache_key ~plan:c.cc_plan slot.sl_session ~recipe:c.cc_recipe
+    in
+    let parts =
+      [ "cc"; Cal_cache.fingerprint device; t.d_git_rev; digest; c.cc_name; ck ]
+    in
+    serve_artifact t ~id ~ns ~parts (fun () ->
+      Mutex.protect slot.sl_mutex (fun () ->
+        match
+          Pipeline.run ~plan:c.cc_plan slot.sl_session ~recipe:c.cc_recipe
+        with
+        | Ok r -> artifact_of_result r
+        | Error d -> raise (Diag.Diagnostic d)))
+
+let handle_characterize t ~id ~ns dev_name =
+  match Device.find dev_name with
+  | None ->
+    Protocol.fail ~id
+      (Diag.error ~stage:"serve"
+         ~entity:(Diag.Design dev_name)
+         (Printf.sprintf "unknown device %S" dev_name))
+  | Some device ->
+    let fp = Cal_cache.fingerprint device in
+    let parts = [ "characterize"; fp; t.d_git_rev ] in
+    serve_artifact t ~id ~ns ~parts (fun () ->
+      let cal = Calibrate.shared device in
+      Calibrate.warm ~mem:true cal;
+      Json.to_string ~minify:false
+        (Json.Obj
+           [
+             ("schema", Json.Str "hlsbd-characterize/1");
+             ("device", Json.Str device.Device.name);
+             ("fingerprint", Json.Str fp);
+             ( "factor_grid",
+               Json.List
+                 (Array.to_list
+                    (Array.map (fun n -> Json.Int n) Calibrate.factor_grid)) );
+             ( "unit_grid",
+               Json.List
+                 (Array.to_list
+                    (Array.map (fun n -> Json.Int n) Calibrate.unit_grid)) );
+           ])
+      ^ "\n")
+
+let handle_explore t ~id ~ns (e : Protocol.explore_req) =
+  match Suite.find e.ex_design with
+  | None -> Protocol.fail ~id (unknown_design e.ex_design)
+  | Some spec ->
+    let slot =
+      session_for t ~key:("design:" ^ spec.Spec.sp_name) (fun () ->
+        Pipeline.of_spec spec)
+    in
+    let parts =
+      [
+        "explore";
+        Cal_cache.fingerprint spec.Spec.sp_device;
+        t.d_git_rev;
+        spec.Spec.sp_name;
+        string_of_int e.ex_budget;
+        string_of_int e.ex_max_probes;
+      ]
+    in
+    serve_artifact t ~id ~ns ~parts (fun () ->
+      let report =
+        Mutex.protect slot.sl_mutex (fun () ->
+          Hlsb_explore.Explore.run_design ~budget:e.ex_budget
+            ~max_probes:e.ex_max_probes slot.sl_session
+            ~name:spec.Spec.sp_name)
+      in
+      Json.to_string ~minify:false (Hlsb_explore.Explore.report_to_json report)
+      ^ "\n")
+
+let status_json t =
+  let st = Store.stats t.d_store in
+  let requests, hits, misses =
+    Mutex.protect t.d_mu (fun () -> (t.d_requests, t.d_hits, t.d_misses))
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "hlsbd-status/1");
+      ("pid", Json.Int (Unix.getpid ()));
+      ("requests", Json.Int requests);
+      ("hits", Json.Int hits);
+      ("misses", Json.Int misses);
+      ("hit_rate", Json.Float (hit_rate t));
+      ( "store",
+        Json.Obj
+          [
+            ("root", Json.Str (Store.root t.d_store));
+            ("budget_bytes", Json.Int (Store.budget_bytes t.d_store));
+            ("entries", Json.Int st.Store.st_entries);
+            ("bytes", Json.Int st.Store.st_bytes);
+            ("puts", Json.Int st.Store.st_puts);
+            ("evictions", Json.Int st.Store.st_evictions);
+          ] );
+    ]
+
+let record_request t (req : Protocol.request) (resp : Protocol.response) ms =
+  Metrics.incr "serve.requests";
+  Metrics.set_gauge "serve.store_hit_rate" (hit_rate t);
+  if t.d_ledger && Ledger.enabled () then begin
+    let label =
+      Printf.sprintf "%s %s"
+        (Protocol.verb_name req.Protocol.q_verb)
+        (match req.Protocol.q_verb with
+        | Protocol.Compile c -> c.Protocol.cp_design
+        | Protocol.Cc c -> c.Protocol.cc_name
+        | Protocol.Characterize d -> d
+        | Protocol.Explore e -> e.Protocol.ex_design
+        | Protocol.Status | Protocol.Gc | Protocol.Shutdown -> "-")
+    in
+    let recipe =
+      match req.Protocol.q_verb with
+      | Protocol.Compile c -> Some (Style.label c.Protocol.cp_recipe)
+      | Protocol.Cc c -> Some (Style.label c.Protocol.cc_recipe)
+      | _ -> None
+    in
+    let cache =
+      [
+        ("serve.hit", if resp.Protocol.p_hit then 1 else 0);
+        ("serve.ok", if resp.Protocol.p_error = None then 1 else 0);
+      ]
+    in
+    let stages =
+      [
+        {
+          Ledger.st_name = "serve";
+          st_status = (if resp.Protocol.p_error = None then "ran" else "FAILED");
+          st_ms = ms;
+        };
+      ]
+    in
+    match
+      Ledger.append ~sync:true
+        (Ledger.make ?recipe ~stages ~cache ~cmd:"serve" ~label ())
+    with
+    | Ok _ -> ()
+    | Error msg -> Log.warn "run ledger: %s" msg
+  end
+
+let handle t (req : Protocol.request) =
+  let id = req.Protocol.q_id in
+  let ns = req.Protocol.q_ns in
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    Trace.with_span "serve.request"
+      ~attrs:
+        [
+          ("verb", Json.Str (Protocol.verb_name req.Protocol.q_verb));
+          ("ns", Json.Str ns);
+        ]
+      (fun () ->
+        try
+          match req.Protocol.q_verb with
+          | Protocol.Compile c -> handle_compile t ~id ~ns c
+          | Protocol.Cc c -> handle_cc t ~id ~ns c
+          | Protocol.Characterize d -> handle_characterize t ~id ~ns d
+          | Protocol.Explore e -> handle_explore t ~id ~ns e
+          | Protocol.Status ->
+            Protocol.ok ~id
+              (Json.to_string ~minify:false (status_json t) ^ "\n")
+          | Protocol.Gc ->
+            let evicted = Store.gc t.d_store in
+            Protocol.ok ~id
+              (Json.to_string ~minify:false
+                 (Json.Obj
+                    [
+                      ("schema", Json.Str "hlsbd-gc/1");
+                      ("evicted", Json.Int evicted);
+                    ])
+              ^ "\n")
+          | Protocol.Shutdown ->
+            Atomic.set t.d_stop true;
+            Protocol.ok ~id ""
+        with
+        | Diag.Diagnostic d -> Protocol.fail ~id d
+        | exn ->
+          Protocol.fail ~id
+            (Diag.error ~stage:"serve" (Printexc.to_string exn)))
+  in
+  Mutex.protect t.d_mu (fun () -> t.d_requests <- t.d_requests + 1);
+  record_request t req resp ((Unix.gettimeofday () -. t0) *. 1000.);
+  resp
+
+(* ---- the socket loop ----------------------------------------------- *)
+
+let serve_conn t conn =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Protocol.read_frame conn with
+      | Error msg -> Log.warn "hlsbd: bad request frame: %s" msg
+      | Ok j -> (
+        let resp =
+          match Protocol.request_of_json j with
+          | Ok req -> handle t req
+          | Error msg ->
+            Protocol.fail ~id:""
+              (Diag.error ~stage:"protocol" msg)
+        in
+        match Protocol.write_frame conn (Protocol.response_to_json resp) with
+        | Ok () -> ()
+        | Error msg -> Log.warn "hlsbd: response write: %s" msg))
+
+let serve ?max_requests t ~socket =
+  let dir = Filename.dirname socket in
+  if dir <> "" && dir <> "." then Atomic_file.mkdir_p dir;
+  (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX socket);
+    Unix.listen fd 64
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "bind %s: %s" socket (Unix.error_message e))
+  | () ->
+    Log.info "hlsbd: listening on %s (store %s)" socket (Store.root t.d_store);
+    let served = ref 0 in
+    let under_budget () =
+      match max_requests with None -> true | Some n -> !served < n
+    in
+    (* Drain every connection already pending behind the one accept we
+       blocked on: the batch is the daemon's scheduling unit, and its
+       size is the queue-depth gauge. *)
+    let drain_pending first =
+      let batch = ref [ first ] in
+      served := !served + 1;
+      let rec go () =
+        if under_budget () then
+          match Unix.select [ fd ] [] [] 0. with
+          | [ _ ], _, _ -> (
+            match Unix.accept fd with
+            | conn, _ ->
+              batch := conn :: !batch;
+              served := !served + 1;
+              go ()
+            | exception Unix.Unix_error _ -> ())
+          | _ -> ()
+      in
+      go ();
+      List.rev !batch
+    in
+    while Atomic.get t.d_stop = false && under_budget () do
+      match Unix.accept fd with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Log.warn "hlsbd: accept: %s" (Unix.error_message e);
+        Atomic.set t.d_stop true
+      | conn, _ ->
+        let batch = drain_pending conn in
+        Metrics.set_gauge_int "serve.queue_depth" (List.length batch);
+        ignore (Pool.map_list (serve_conn t) batch)
+    done;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+    Log.info "hlsbd: stopped after %d request(s)" (requests_served t);
+    Ok ()

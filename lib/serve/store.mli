@@ -1,0 +1,97 @@
+(** Persistent content-addressed artifact store backing the compile
+    daemon's pipeline sessions.
+
+    Every artifact is filed under the MD5 of a canonical key string
+    ({!key}) assembled from everything that determines the bytes: a
+    store schema tag, the input identity (suite design name or source
+    digest), the device fingerprint, the code revision, and the
+    session-level compile key ([Core.Pipeline.cache_key] — recipe, plan,
+    tuning) that PR 8/9 already thread through the in-memory schedule
+    cache. Identical requests from *any* process therefore resolve to
+    the same file, and a hit returns the stored bytes unchanged —
+    byte-identical to the compile that populated it.
+
+    Layout: [<root>/<namespace>/<hh>/<hash>] where [hh] is the first two
+    hex digits of the hash. Namespaces isolate clients from one another:
+    a key only ever hits within the namespace that stored it, so one
+    client cannot observe (or evict-by-alias) another's artifacts;
+    eviction budgets the store as a whole.
+
+    Writes go through {!Hlsb_util.Atomic_file} (write-then-rename with a
+    pid+domain+random temp suffix), so concurrent daemons or stray CLI
+    processes never publish a torn artifact. Reads bump the entry's
+    mtime, which is the LRU clock: {!gc} evicts oldest-first until the
+    store fits its byte budget. *)
+
+type t
+
+type stats = {
+  st_entries : int;  (** artifacts on disk, every namespace *)
+  st_bytes : int;  (** payload bytes on disk *)
+  st_hits : int;  (** lookups served since {!open_} (this process) *)
+  st_misses : int;
+  st_puts : int;
+  st_evictions : int;  (** entries removed by {!gc} since {!open_} *)
+}
+
+val schema : string
+(** ["hlsbd-store/1"] — joins every key; bump to orphan all prior
+    artifacts when the artifact encoding changes. *)
+
+val env_var : string
+(** ["HLSBD_STORE"] — overrides the store root directory. *)
+
+val default_root : string
+(** [".hlsb/store"]. *)
+
+val ambient_root : unit -> string
+(** [$HLSBD_STORE] when set and non-empty, else {!default_root}. *)
+
+val default_budget_bytes : int
+(** 256 MiB. *)
+
+val open_ : ?budget_bytes:int -> root:string -> unit -> t
+(** Open (creating as needed) a store rooted at [root]. The budget is
+    the eviction target, not a hard cap: a put may briefly exceed it
+    until the put's own eviction pass runs. *)
+
+val root : t -> string
+val budget_bytes : t -> int
+
+val sanitize_ns : string -> string
+(** Map an arbitrary client namespace to the directory-safe alphabet
+    [[a-z0-9_-]]; empty input becomes ["default"]. Distinct inputs may
+    alias only if they differ in stripped characters — acceptable for
+    cooperating clients, and the sanitized name is what isolation keys
+    on. *)
+
+val key : parts:string list -> string
+(** The content address: hex MD5 of [schema] + the ['\x00']-joined
+    parts. Deterministic across processes; any part changing (recipe,
+    plan, tuning, source bytes, device, code rev) changes the key. *)
+
+val find : t -> ns:string -> key:string -> string option
+(** The stored bytes, or [None]. A hit refreshes the entry's LRU clock
+    and counts in {!stats}; a miss counts too. *)
+
+val put : t -> ns:string -> key:string -> string -> (unit, string) result
+(** Atomically publish bytes under the key, then evict past-budget
+    entries (oldest first, never the one just written). Re-putting an
+    existing key rewrites it (the payload is the same by construction —
+    keys are content-derived). *)
+
+val gc : t -> int
+(** Rescan the root and evict oldest-first until within budget; returns
+    the number of entries removed. Safe to run concurrently with other
+    processes using the same root (missing files are skipped). *)
+
+val clear : t -> int
+(** Remove every artifact in every namespace; returns how many. *)
+
+val stats : t -> stats
+(** Disk figures are rescanned on each call (other processes may have
+    added or evicted entries); traffic counters are this process's. *)
+
+val disk_usage : root:string -> int * int
+(** [(entries, bytes)] for a store root, without opening it — what
+    [hlsbd status] reports when no daemon is listening. *)

@@ -1,0 +1,89 @@
+(* Whole-file atomic writes via write-then-rename.
+
+   The temp suffix must differ between any two concurrent writers of the
+   same target, across domains AND processes. pid + domain id covers
+   every live writer pair except pid reuse after a crash left a stale
+   temp file behind; the random component makes that harmless too (the
+   stale file is skipped, not appended to: O_EXCL below). *)
+
+let rec mkdir_p dir =
+  if
+    dir <> "" && dir <> "/" && dir <> "."
+    && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Seeded per process from pid + wall clock: forked children and
+   re-executed workers draw distinct sequences. Protected by a mutex so
+   concurrent domains do not tear the generator state. *)
+let rng = lazy (Random.State.make [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |])
+let rng_mutex = Mutex.create ()
+
+let random_bits () =
+  Mutex.protect rng_mutex (fun () -> Random.State.bits (Lazy.force rng))
+
+let temp_suffix () =
+  Printf.sprintf "%d.%d.%08x" (Unix.getpid ())
+    (Domain.self () :> int)
+    (random_bits () land 0xffff_ffff)
+
+let read path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let write ~path contents =
+  mkdir_p (Filename.dirname path);
+  (* O_EXCL: a leftover temp file from a crashed writer with the same
+     suffix (pid reuse) must not be silently overwritten mid-rename by
+     someone else — draw a fresh suffix instead. *)
+  let rec open_temp attempts =
+    let tmp = Printf.sprintf "%s.tmp.%s" path (temp_suffix ()) in
+    match
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | fd -> Ok (tmp, fd)
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when attempts > 0 ->
+      open_temp (attempts - 1)
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  match open_temp 8 with
+  | Error _ as e -> e
+  | Ok (tmp, fd) -> (
+    let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+    let written =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let b = Bytes.unsafe_of_string contents in
+          let len = Bytes.length b in
+          let rec write_all off =
+            if off >= len then Ok ()
+            else
+              match Unix.write fd b off (len - off) with
+              | n -> write_all (off + n)
+              | exception Unix.Unix_error (e, _, _) ->
+                Error (Unix.error_message e)
+          in
+          write_all 0)
+    in
+    match written with
+    | Error msg ->
+      cleanup ();
+      Error msg
+    | Ok () -> (
+      match Sys.rename tmp path with
+      | () -> Ok ()
+      | exception Sys_error msg ->
+        cleanup ();
+        Error msg))
+
+let write_exn ~path contents =
+  match write ~path contents with
+  | Ok () -> ()
+  | Error msg -> raise (Sys_error (Printf.sprintf "%s: %s" path msg))

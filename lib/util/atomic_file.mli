@@ -1,0 +1,36 @@
+(** Crash- and concurrency-safe whole-file writes, shared by every
+    on-disk store in the tree ([Hlsb_delay.Cal_cache], the compile
+    service's artifact store).
+
+    The contract is write-then-rename: the payload goes to a temporary
+    file in the destination directory and is renamed over the target, so
+    readers only ever observe a complete file. The temporary name embeds
+    the process id, the domain id, and a random suffix — two *processes*
+    (a daemon and a stray CLI invocation) or two domains writing the
+    same target concurrently each use distinct temp paths, so neither
+    can publish the other's half-written bytes. (The previous
+    [Cal_cache] scheme keyed the temp name on the domain id alone, which
+    collides across processes: both sides open the same [.tmp.0] file
+    and the slower writer renames a torn mixture into place.) *)
+
+val write : path:string -> string -> (unit, string) result
+(** Atomically replace [path] with the given bytes (creating parent
+    directories as needed). On success the rename has happened; on
+    [Error msg] the target is untouched and the temporary file has been
+    removed. Concurrent writers of the same [path] serialize at the
+    rename: the last rename wins with a complete file either way. *)
+
+val write_exn : path:string -> string -> unit
+(** [write], raising [Sys_error] on failure. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its parents; existing directories are fine.
+    Races with concurrent creators are benign. *)
+
+val read : string -> string option
+(** Whole-file read; [None] if the file cannot be opened. *)
+
+val temp_suffix : unit -> string
+(** The collision-resistant suffix used for temp names:
+    ["<pid>.<domain>.<random hex>"]. Exposed for the concurrency tests,
+    which assert two processes never produce the same suffix. *)

@@ -6,8 +6,10 @@
 
     The staged pipeline ([Core.Pipeline]) catches {!Diagnostic} at stage
     boundaries and returns the payload as a [Result]; the legacy
-    [Flow.compile] entry points convert it back to [Invalid_argument]
-    for compatibility. *)
+    [Flow.compile]/[Design.generate] entry points let it propagate
+    unchanged, so even pre-pipeline callers (and the compile daemon's
+    error responses) see the stage and entity rather than a flattened
+    [Invalid_argument] string. *)
 
 type severity = Error | Warning
 

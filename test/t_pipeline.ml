@@ -211,18 +211,23 @@ let test_diagnostic_fifo_mismatch () =
     Alcotest.(check bool) "message names the channel" true
       (contains_sub ~sub:"c_data" d.Diag.d_message)
 
-(* The legacy wrapper keeps its historical contract: the same broken
-   inputs still raise [Invalid_argument] out of [Flow.compile]. *)
+(* The legacy wrappers now propagate the structured diagnostic instead
+   of flattening it into an [Invalid_argument] string: the stage and
+   offending entity must survive [Flow.compile]/[Design.generate], which
+   is what lets the compile daemon return machine-readable errors. *)
 let test_legacy_still_raises () =
-  let expect_invalid name df =
+  let expect_diag name ~stage df =
     match
       Flow.compile ~device:Device.ultrascale_plus ~recipe:Style.original ~name df
     with
-    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
-    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Diag.Diagnostic")
+    | exception Diag.Diagnostic d ->
+      Alcotest.(check string) (name ^ " stage") stage d.Diag.d_stage;
+      Alcotest.(check bool) (name ^ " entity carried") true
+        (d.Diag.d_entity <> None)
   in
-  expect_invalid "orphan" (orphan_process_df ());
-  expect_invalid "fifo-mismatch" (fifo_mismatch_df ())
+  expect_diag "orphan" ~stage:"elaborate" (orphan_process_df ());
+  expect_diag "fifo-mismatch" ~stage:"lower" (fifo_mismatch_df ())
 
 (* Dumps and explain render for every stage without touching disk. *)
 let test_dump_and_explain () =

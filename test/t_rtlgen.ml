@@ -184,11 +184,16 @@ let test_design_missing_fifo_rejected () =
   let pa = Dataflow.add_process df ~name:"ka" ~kernel:a () in
   ignore
     (Dataflow.add_channel df ~name:"nonexistent" ~src:pa ~dst:(-1) ~dtype:i32 ());
-  Alcotest.(check bool) "bad channel rejected" true
-    (try
-       ignore (Design.generate ~device:dev ~recipe:Style.original ~name:"x" df);
-       false
-     with Invalid_argument _ -> true)
+  (* the diagnostic must survive with its structure intact (stage +
+     offending entity), not be flattened into an Invalid_argument string *)
+  match Design.generate ~device:dev ~recipe:Style.original ~name:"x" df with
+  | _ -> Alcotest.fail "bad channel accepted"
+  | exception Hlsb_util.Diag.Diagnostic d ->
+    Alcotest.(check string) "stage" "lower" d.Hlsb_util.Diag.d_stage;
+    Alcotest.(check bool) "entity carried" true
+      (match d.Hlsb_util.Diag.d_entity with
+      | Some (Hlsb_util.Diag.Channel _) | Some (Hlsb_util.Diag.Kernel _) -> true
+      | _ -> false)
 
 let test_design_sync_pruned_uses_latency () =
   (* pruned sync reduces the done-reduce inputs *)

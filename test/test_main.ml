@@ -1,3 +1,11 @@
+(* Cross-process tests re-exec this binary with a worker spec in the
+   environment; the worker runs and exits before alcotest ever parses
+   argv. *)
+let () =
+  match Sys.getenv_opt "HLSB_T_SERVE_WORKER" with
+  | Some spec -> exit (T_serve.worker spec)
+  | None -> ()
+
 let () =
   Alcotest.run "broadcast_hls"
     [
@@ -20,5 +28,6 @@ let () =
       ("frontend", T_frontend.suite);
       ("transform", T_transform.suite);
       ("explore", T_explore.suite);
+      ("serve", T_serve.suite);
       ("export", T_export.suite);
     ]
